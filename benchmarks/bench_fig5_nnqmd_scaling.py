@@ -1,0 +1,80 @@
+"""Figure 5: weak and strong scaling of the XS-NNQMD module.
+
+Fig. 5a: weak scaling at 160k / 640k / 10.24M atoms per rank (efficiencies
+0.957 / 0.964 / 0.997).  Fig. 5b: strong scaling for 221.4M and 984M atoms
+(efficiencies 0.440 and 0.773 at 73,800 ranks).  The per-atom compute constant
+is anchored by benchmarking real Allegro-lite GS+XS inference; the overhead
+and communication terms come from the Aurora machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.lattice import perovskite_supercell
+from repro.nn import AllegroLiteModel
+from repro.parallel import NNQMDCostModel
+from repro.parallel.scaling import run_scaling_study
+from repro.xsnn import ExcitedStateMixer
+
+from common import print_table, write_result
+
+WEAK_RANKS = [7500, 15000, 30000, 60000, 120000]
+WEAK_GRANULARITIES = [160_000, 640_000, 10_240_000]
+STRONG_RANKS = [9225, 18450, 36900, 73800]
+STRONG_SIZES = [221_400_000, 984_000_000]
+PAPER_WEAK = {160_000: 0.957, 640_000: 0.964, 10_240_000: 0.997}
+PAPER_STRONG = {221_400_000: 0.440, 984_000_000: 0.773}
+
+
+def test_fig5_nnqmd_weak_and_strong_scaling(benchmark):
+    rng = np.random.default_rng(0)
+    supercell = perovskite_supercell((3, 3, 3))
+    supercell.positions += 0.05 * rng.standard_normal(supercell.positions.shape)
+    gs = AllegroLiteModel(species=["Pb", "Ti", "O"], cutoff=5.2, rng=rng)
+    xs = gs.copy()
+    mixer = ExcitedStateMixer(gs, xs, uniform_weight=0.2)
+    benchmark(lambda: mixer.compute(supercell))
+
+    model = NNQMDCostModel()
+    rows = []
+    weak_eff = {}
+    for granularity in WEAK_GRANULARITIES:
+        study = run_scaling_study(
+            "weak", f"{granularity} atoms/rank", WEAK_RANKS,
+            lambda p, g=granularity: float(g) * p,
+            lambda p, g=granularity: model.weak_scaling_time(p, g),
+        )
+        weak_eff[granularity] = study.efficiency_at_largest()
+        for row in study.as_rows():
+            rows.append({"panel": "5a (weak)", **row,
+                         "paper_efficiency": PAPER_WEAK[granularity]})
+    strong_eff = {}
+    for total in STRONG_SIZES:
+        study = run_scaling_study(
+            "strong", f"{total} atoms", STRONG_RANKS,
+            lambda p, n=total: float(n),
+            lambda p, n=total: model.strong_scaling_time(p, n),
+        )
+        strong_eff[total] = study.efficiency_at_largest()
+        for row in study.as_rows():
+            rows.append({"panel": "5b (strong)", **row,
+                         "paper_efficiency": PAPER_STRONG[total]})
+
+    print_table(
+        "Fig. 5: XS-NNQMD scaling",
+        ["panel", "label", "ranks", "wall_seconds", "efficiency", "paper_efficiency"],
+        rows,
+    )
+    write_result("fig5_nnqmd_scaling", {"rows": rows, "paper_weak": PAPER_WEAK,
+                                        "paper_strong": PAPER_STRONG})
+
+    # Fig. 5a shape: excellent weak scaling, ordered by granularity.
+    assert weak_eff[160_000] < weak_eff[640_000] < weak_eff[10_240_000]
+    assert weak_eff[10_240_000] > 0.99
+    assert weak_eff[160_000] > 0.90
+    # Fig. 5b shape: decent for the large problem, poor for the small one.
+    assert strong_eff[984_000_000] > strong_eff[221_400_000]
+    assert strong_eff[221_400_000] == pytest.approx(PAPER_STRONG[221_400_000], abs=0.15)
+    assert strong_eff[984_000_000] == pytest.approx(PAPER_STRONG[984_000_000], abs=0.15)

@@ -1,0 +1,69 @@
+"""Mixed-precision ablation (Sec. V.B.7 / VI.C, Ref. [34]).
+
+The paper's claim: the GEMMified nonlocal correction can run in BF16 with FP32
+accumulation ("float_to_BF16") with negligible accuracy loss, while the
+throughput improves by ~20% over FP32.  This benchmark propagates the same
+orbital block through the nonlocal correction in FP64 / FP32 / BF16 / BF16x2 /
+BF16x3, measures the deviation from the FP64 reference and the modelled
+throughput, and checks both claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid3D
+from repro.precision.gemm import GemmMode
+from repro.qd import NonlocalCorrection, WaveFunctions
+
+from common import print_table, write_result
+
+MODES = ["fp64", "fp32", "bf16", "bf16x2", "bf16x3"]
+NUM_STEPS = 20
+
+
+def test_precision_ablation_of_nonlocal_correction(benchmark):
+    grid = Grid3D((10, 10, 10), (8.0, 8.0, 8.0))
+    rng = np.random.default_rng(0)
+    reference_wf = WaveFunctions.random(grid, 32, rng)
+    start = np.ascontiguousarray(WaveFunctions.random(grid, 32, rng).as_matrix())
+
+    def propagate(mode: str) -> np.ndarray:
+        correction = NonlocalCorrection(reference_wf, shift=0.15, dt=0.05, mode=mode)
+        psi = start.copy()
+        for _ in range(NUM_STEPS):
+            psi = correction.apply_matrix(psi)
+        return psi
+
+    benchmark(lambda: propagate("bf16"))
+
+    reference = propagate("fp64")
+    rows = []
+    for mode in MODES:
+        result = propagate(mode)
+        error = float(np.linalg.norm(result - reference) / np.linalg.norm(reference))
+        rows.append(
+            {
+                "mode": mode,
+                "relative_error_vs_fp64": error,
+                "model_relative_speed": GemmMode.from_name(mode).relative_speed,
+            }
+        )
+    print_table(
+        "Mixed-precision ablation of nlp_prop",
+        ["mode", "relative_error_vs_fp64", "model_relative_speed"],
+        rows,
+    )
+    write_result("precision_ablation", {"rows": rows, "steps": NUM_STEPS})
+
+    errors = {row["mode"]: row["relative_error_vs_fp64"] for row in rows}
+    speeds = {row["mode"]: row["model_relative_speed"] for row in rows}
+    # BF16 is accurate enough for the perturbative nonlocal correction...
+    assert errors["bf16"] < 5e-2
+    assert errors["fp32"] < 1e-5
+    assert errors["bf16x3"] < 1e-4
+    # ... and accuracy improves monotonically with the number of BF16 components.
+    assert errors["bf16"] > errors["bf16x2"] > errors["bf16x3"]
+    # Throughput model: BF16 fastest, FP64 slowest (Table IV ordering).
+    assert speeds["bf16"] > speeds["fp32"] > speeds["fp64"]

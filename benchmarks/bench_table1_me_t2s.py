@@ -1,0 +1,73 @@
+"""Table I: Maxwell-Ehrenfest time-to-solution vs the state of the art.
+
+Reproduces the paper's Table I: the published SOTA entries (Qb@ll, PWDFT,
+SALMON) are recomputed from their published wall-clock times and electron
+counts using the paper's own T2S definition, and the "this work" entry is
+produced by the DC-MESH cost model whose per-domain constant is calibrated
+against the in-repo kernels (see DESIGN.md).  The benchmarked kernel is one
+real per-domain QD step of the in-repo LFD engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid3D
+from repro.parallel import DCMESHCostModel, aurora
+from repro.perf import me_time_to_solution
+from repro.qd import KineticPropagator, NonlocalCorrection, WaveFunctions
+
+from common import print_table, write_result
+
+#: Published SOTA runs (work, system, machine, seconds per QD step, electrons,
+#: effective speedup factor from larger usable time steps).
+SOTA_RUNS = [
+    {"work": "Qb@ll (2016)", "machine": "BlueGene/Q", "seconds": 53.2, "electrons": 59_400, "step_factor": 1.0},
+    {"work": "PWDFT (2020)", "machine": "Summit", "seconds": 260.9, "electrons": 3_072, "step_factor": 100.0},
+    {"work": "SALMON (2022)", "machine": "Fugaku", "seconds": 1.2, "electrons": 71_040, "step_factor": 1.0},
+]
+
+PAPER_THIS_WORK_T2S = 1.11e-7
+PAPER_SPEEDUP_OVER_SALMON = 152.0
+
+
+def _domain_qd_step(n_orbitals: int = 48, grid_points: int = 12):
+    """One QD step (kinetic + nonlocal) of a single scaled-down DC domain."""
+    grid = Grid3D((grid_points,) * 3, (10.0,) * 3)
+    rng = np.random.default_rng(0)
+    wavefunctions = WaveFunctions.random(grid, n_orbitals, rng)
+    propagator = KineticPropagator(grid, dt=0.04)
+    scissors = NonlocalCorrection(wavefunctions.copy(), shift=0.1, dt=0.04, mode="fp32")
+
+    def step():
+        psi = propagator.propagate_exact(wavefunctions.psi)
+        scissors.apply_matrix(np.ascontiguousarray(psi.reshape(n_orbitals, -1).T))
+        return psi
+
+    return step
+
+
+def test_table1_me_time_to_solution(benchmark):
+    step = _domain_qd_step()
+    benchmark(step)
+
+    rows = []
+    for entry in SOTA_RUNS:
+        t2s = me_time_to_solution(entry["seconds"], entry["electrons"]) / entry["step_factor"]
+        rows.append({"work": entry["work"], "machine": entry["machine"], "t2s_sec": t2s})
+    model = DCMESHCostModel(machine=aurora())
+    this_work = model.time_to_solution(120_000, 128)
+    rows.append({"work": "This work (model)", "machine": "Aurora", "t2s_sec": this_work})
+
+    print_table("Table I: Maxwell-Ehrenfest time-to-solution", ["work", "machine", "t2s_sec"], rows)
+    salmon = rows[2]["t2s_sec"]
+    speedup = salmon / this_work
+    print(f"speedup over SALMON: {speedup:.0f}x (paper: {PAPER_SPEEDUP_OVER_SALMON:.0f}x)")
+    write_result("table1_me_t2s", {"rows": rows, "speedup_over_salmon": speedup,
+                                   "paper_this_work_t2s": PAPER_THIS_WORK_T2S})
+
+    # Shape assertions: this work beats every SOTA entry by a large margin.
+    assert this_work == pytest.approx(PAPER_THIS_WORK_T2S, rel=0.1)
+    assert all(this_work < row["t2s_sec"] for row in rows[:-1])
+    assert speedup == pytest.approx(PAPER_SPEEDUP_OVER_SALMON, rel=0.15)

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark reproduces one table or figure of the paper: it computes the
+same rows/series the paper reports, prints them in a human-readable form, and
+writes a machine-readable JSON file next to this module (``results/``) so
+EXPERIMENTS.md can be regenerated from the artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, payload) -> Path:
+    """Write a JSON result file and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def print_table(title: str, columns: Iterable[str], rows: Iterable[Mapping]) -> None:
+    """Print a fixed-width table mirroring the paper's layout."""
+    columns = list(columns)
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{c:>24}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{_format(row.get(c, '')):>24}" for c in columns))
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The build environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (which need ``bdist_wheel``)
+are unavailable.  This shim lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path; all project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro: reproduction of "Multiscale Light-Matter Dynamics in Quantum Materials" (SC 2025).
+
+The package mirrors the paper's MLMD software: the DC-MESH module (divide-and-
+conquer Maxwell-Ehrenfest-surface-hopping NAQMD) lives in :mod:`repro.grid`,
+:mod:`repro.maxwell`, :mod:`repro.qd`, :mod:`repro.scf`, :mod:`repro.dc` and
+:mod:`repro.naqmd`; the XS-NNQMD module (excited-state neural-network quantum
+MD) lives in :mod:`repro.nn`, :mod:`repro.md` and :mod:`repro.xsnn`; the
+divide-conquer-recombine / metamodel-space-algebra orchestration lives in
+:mod:`repro.core`; performance modelling and the virtual cluster used for the
+scaling studies live in :mod:`repro.perf` and :mod:`repro.parallel`.
+
+Subpackages are imported lazily so light-weight users (for example, someone
+who only needs the topology analysis) do not pay for the whole stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "analysis",
+    "core",
+    "dc",
+    "grid",
+    "maxwell",
+    "md",
+    "naqmd",
+    "nn",
+    "parallel",
+    "perf",
+    "precision",
+    "qd",
+    "scf",
+    "topology",
+    "units",
+    "utils",
+    "xsnn",
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

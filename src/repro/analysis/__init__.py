@@ -1,0 +1,11 @@
+"""Post-processing: optical spectra and conservation-law diagnostics."""
+
+from repro.analysis.spectra import absorption_spectrum, dipole_strength_function
+from repro.analysis.conservation import energy_drift, norm_drift
+
+__all__ = [
+    "absorption_spectrum",
+    "dipole_strength_function",
+    "energy_drift",
+    "norm_drift",
+]

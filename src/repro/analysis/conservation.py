@@ -1,0 +1,45 @@
+"""Conservation-law diagnostics used by tests and long-run monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def energy_drift(energies: np.ndarray, relative: bool = True) -> float:
+    """Peak-to-peak drift of an energy time series.
+
+    With ``relative=True`` the drift is normalised by the magnitude of the
+    initial energy (or the peak-to-peak scale when the initial energy is ~0).
+    """
+    energies = np.asarray(energies, dtype=float).reshape(-1)
+    if energies.size < 2:
+        return 0.0
+    drift = float(energies.max() - energies.min())
+    if not relative:
+        return drift
+    scale = abs(float(energies[0]))
+    if scale < 1e-12:
+        scale = max(drift, 1e-12)
+    return drift / scale
+
+
+def norm_drift(norms: np.ndarray) -> float:
+    """Maximum deviation of orbital norms from unity."""
+    norms = np.asarray(norms, dtype=float)
+    if norms.size == 0:
+        return 0.0
+    return float(np.max(np.abs(norms - 1.0)))
+
+
+def momentum_drift(momenta: np.ndarray) -> float:
+    """Norm of the total-momentum change over a trajectory.
+
+    ``momenta`` has shape ``(n_steps, 3)``; for a momentum-conserving force
+    field the result should stay at the round-off level.
+    """
+    momenta = np.asarray(momenta, dtype=float)
+    if momenta.ndim != 2 or momenta.shape[1] != 3:
+        raise ValueError("momenta must have shape (n_steps, 3)")
+    if momenta.shape[0] < 2:
+        return 0.0
+    return float(np.max(np.linalg.norm(momenta - momenta[0], axis=1)))

@@ -1,0 +1,94 @@
+"""Metamodel-space algebra (MSA): combining methods of different fidelity.
+
+The paper identifies three uses of the same algebraic idea (Sec. V.A.3, A.7,
+A.8): a metamodel space whose axes are "level of theory" and "problem /
+dataset / time-scale size", in which methods are combined by arithmetic.  The
+canonical instance is the QM/MM (ONIOM-style) extrapolation
+
+    E(high, large) ~ E(low, large) + E(high, small) - E(low, small)
+
+whose sole assumption is that the high-low difference is transferable across
+problem sizes.  :class:`MetamodelExtrapolation` implements that combination
+for scalars and arrays (energies, forces); the XN/NN force mixing of Eq. (4)
+and the TEA affine alignment are the other two instances and live in
+:mod:`repro.xsnn.mixing` and :mod:`repro.nn.tea` respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def metamodel_combine(low_large: ArrayLike, high_small: ArrayLike,
+                      low_small: ArrayLike) -> ArrayLike:
+    """The ONIOM / QM-MM extrapolation: low(large) + high(small) - low(small)."""
+    return np.asarray(low_large) + np.asarray(high_small) - np.asarray(low_small)
+
+
+@dataclass
+class MetamodelExtrapolation:
+    """Book-keeping object for adaptive multiscale (QM/MM, NN/MM, XN/NN) runs.
+
+    Parameters
+    ----------
+    high_label, low_label:
+        Names of the high- and low-fidelity methods (for reports only).
+    """
+
+    high_label: str = "QM"
+    low_label: str = "MM"
+
+    def combine_energy(self, low_large: float, high_small: float, low_small: float) -> float:
+        """Extrapolated total energy of the large system at high fidelity."""
+        return float(metamodel_combine(low_large, high_small, low_small))
+
+    def combine_forces(
+        self,
+        low_large: np.ndarray,
+        high_small: np.ndarray,
+        low_small: np.ndarray,
+        embedded_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Extrapolated forces: the high-low difference is added on the embedded atoms.
+
+        ``low_large`` has shape ``(N, 3)``; ``high_small`` and ``low_small``
+        have shape ``(n_embedded, 3)`` and refer to the atoms listed in
+        ``embedded_indices``.  Atoms outside the embedded region keep the
+        low-fidelity forces — exactly the additive QM/MM force expression.
+        """
+        low_large = np.asarray(low_large, dtype=float)
+        high_small = np.asarray(high_small, dtype=float)
+        low_small = np.asarray(low_small, dtype=float)
+        embedded_indices = np.asarray(embedded_indices, dtype=int)
+        if high_small.shape != low_small.shape:
+            raise ValueError("high_small and low_small must have matching shapes")
+        if embedded_indices.shape[0] != high_small.shape[0]:
+            raise ValueError("embedded_indices must match the embedded force arrays")
+        combined = low_large.copy()
+        combined[embedded_indices] += high_small - low_small
+        return combined
+
+    def transferability_error(
+        self,
+        high_small: float,
+        low_small: float,
+        high_medium: float,
+        low_medium: float,
+        per_unit: float = 1.0,
+    ) -> float:
+        """How much the high-low difference changes between two problem sizes.
+
+        The MSA assumption is that (high - low) is size-independent; this
+        returns |Δ(small) - Δ(medium)| / per_unit so tests and ablations can
+        quantify how well the assumption holds for the in-repo models.
+        """
+        if per_unit <= 0:
+            raise ValueError("per_unit must be positive")
+        delta_small = high_small - low_small
+        delta_medium = high_medium - low_medium
+        return abs(delta_small - delta_medium) / per_unit

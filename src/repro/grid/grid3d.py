@@ -1,0 +1,166 @@
+"""Uniform orthorhombic real-space grid.
+
+All LFD wave functions, densities and potentials live on instances of
+:class:`Grid3D`.  Lengths are in Bohr (atomic units) because the quantum
+dynamics modules work in Hartree atomic units throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A periodic, uniform grid on an orthorhombic cell.
+
+    Parameters
+    ----------
+    shape:
+        Number of grid points along x, y, z.
+    lengths:
+        Cell edge lengths along x, y, z in Bohr.
+    """
+
+    shape: Tuple[int, int, int]
+    lengths: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or len(self.lengths) != 3:
+            raise ValueError("shape and lengths must have three entries")
+        for n in self.shape:
+            if int(n) < 2:
+                raise ValueError("each grid dimension needs at least 2 points")
+        for length in self.lengths:
+            ensure_positive(length, "cell length")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+        object.__setattr__(self, "lengths", tuple(float(x) for x in self.lengths))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def spacing(self) -> Tuple[float, float, float]:
+        """Grid spacing (hx, hy, hz) in Bohr."""
+        return tuple(length / n for length, n in zip(self.lengths, self.shape))
+
+    @property
+    def num_points(self) -> int:
+        """Total number of grid points."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def volume(self) -> float:
+        """Cell volume in Bohr^3."""
+        lx, ly, lz = self.lengths
+        return lx * ly * lz
+
+    @property
+    def dv(self) -> float:
+        """Volume element per grid point."""
+        return self.volume / self.num_points
+
+    def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """1-D coordinate arrays along each axis (cell-centred at 0 origin)."""
+        return tuple(
+            np.arange(n) * h for n, h in zip(self.shape, self.spacing)
+        )
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full 3-D coordinate arrays with ``indexing='ij'``."""
+        x, y, z = self.axes()
+        return np.meshgrid(x, y, z, indexing="ij")
+
+    def kvectors(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Angular wave-vector arrays (2*pi*FFT frequencies) along each axis."""
+        return tuple(
+            2.0 * np.pi * np.fft.fftfreq(n, d=h)
+            for n, h in zip(self.shape, self.spacing)
+        )
+
+    def k_squared(self) -> np.ndarray:
+        """|k|^2 on the full grid, used by the FFT Poisson / kinetic operators."""
+        kx, ky, kz = self.kvectors()
+        return (
+            kx[:, None, None] ** 2
+            + ky[None, :, None] ** 2
+            + kz[None, None, :] ** 2
+        )
+
+    # ------------------------------------------------------------------
+    # Field helpers
+    # ------------------------------------------------------------------
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        """A zero-initialised field with the grid's shape."""
+        return np.zeros(self.shape, dtype=dtype)
+
+    def integrate(self, field: np.ndarray) -> float | complex:
+        """Trapezoid-free periodic integral: sum(field) * dv."""
+        field = np.asarray(field)
+        if field.shape[-3:] != self.shape:
+            raise ValueError(
+                f"field shape {field.shape} incompatible with grid shape {self.shape}"
+            )
+        total = field.reshape(*field.shape[:-3], -1).sum(axis=-1) * self.dv
+        if np.ndim(total) == 0:
+            return complex(total) if np.iscomplexobj(field) else float(total)
+        return total
+
+    def inner_product(self, bra: np.ndarray, ket: np.ndarray) -> complex:
+        """<bra|ket> with the grid volume element."""
+        bra = np.asarray(bra)
+        ket = np.asarray(ket)
+        if bra.shape != self.shape or ket.shape != self.shape:
+            raise ValueError("bra and ket must both have the grid shape")
+        return complex(np.vdot(bra, ket) * self.dv)
+
+    def norm(self, field: np.ndarray) -> float:
+        """L2 norm sqrt(<f|f>)."""
+        return float(np.sqrt(np.real(self.inner_product(field, field))))
+
+    def normalize(self, field: np.ndarray) -> np.ndarray:
+        """Return ``field`` scaled to unit L2 norm."""
+        n = self.norm(field)
+        if n == 0.0:
+            raise ValueError("cannot normalise a zero field")
+        return np.asarray(field) / n
+
+    def gaussian(self, center: Tuple[float, float, float], width: float,
+                 dtype=np.float64) -> np.ndarray:
+        """A normalised periodic Gaussian blob centred at ``center``.
+
+        Used for initial wave packets, model densities and pseudo-charge
+        distributions.  The Gaussian respects minimum-image periodicity so
+        blobs near the cell boundary wrap smoothly.
+        """
+        ensure_positive(width, "width")
+        x, y, z = self.meshgrid()
+        lx, ly, lz = self.lengths
+        dx = x - center[0]
+        dy = y - center[1]
+        dz = z - center[2]
+        dx -= lx * np.round(dx / lx)
+        dy -= ly * np.round(dy / ly)
+        dz -= lz * np.round(dz / lz)
+        r2 = dx ** 2 + dy ** 2 + dz ** 2
+        blob = np.exp(-0.5 * r2 / width ** 2).astype(dtype)
+        norm = self.norm(blob)
+        return blob / norm
+
+    def coarsen(self) -> "Grid3D":
+        """Return the next-coarser grid (every dimension halved).
+
+        Used by the multigrid hierarchy; dimensions must be even.
+        """
+        if any(n % 2 for n in self.shape):
+            raise ValueError(f"cannot coarsen odd-sized grid {self.shape}")
+        return Grid3D(tuple(n // 2 for n in self.shape), self.lengths)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Grid3D(shape={self.shape}, lengths={self.lengths})"

@@ -1,0 +1,130 @@
+"""Finite-difference stencil operators on periodic 3-D grids.
+
+Two implementations of the Laplacian are provided on purpose:
+
+* :func:`laplacian_naive` — a straightforward Python triple loop.  This is the
+  "baseline" row of the paper's Table III kin_prop() optimisation ladder.
+* :func:`laplacian` — the vectorised (``numpy.roll``-based) implementation that
+  corresponds to the data/loop-reordered and blocked variants; it operates on
+  an arbitrary leading batch axis so a whole block of orbitals reuses the same
+  stencil sweep, which is exactly the structure-of-arrays optimisation of
+  Sec. V.B.2-3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid3d import Grid3D
+from repro.utils.mathutils import finite_difference_coefficients
+
+
+def laplacian_stencil_width(order: int) -> int:
+    """Number of points touched per axis by the stencil of the given order."""
+    return order + 1
+
+
+def laplacian(field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
+    """Periodic Laplacian of ``field`` (last three axes are the grid axes).
+
+    ``field`` may have an arbitrary leading batch dimension, e.g. a stack of
+    Kohn-Sham orbitals of shape ``(n_orb, nx, ny, nz)``; the stencil
+    coefficients are then reused across the whole batch, mirroring the
+    orbital-blocked loop structure of the optimised kin_prop kernel.
+    """
+    field = np.asarray(field)
+    if field.shape[-3:] != grid.shape:
+        raise ValueError(
+            f"field grid shape {field.shape[-3:]} does not match grid {grid.shape}"
+        )
+    coeffs = finite_difference_coefficients(order)
+    half = len(coeffs) // 2
+    hx, hy, hz = grid.spacing
+    out = np.zeros_like(field)
+    # Axis offsets relative to the batch dimensions.
+    ax_x, ax_y, ax_z = field.ndim - 3, field.ndim - 2, field.ndim - 1
+    for k, c in enumerate(coeffs):
+        shift = k - half
+        if c == 0.0:
+            continue
+        out += (c / hx ** 2) * np.roll(field, -shift, axis=ax_x)
+        out += (c / hy ** 2) * np.roll(field, -shift, axis=ax_y)
+        out += (c / hz ** 2) * np.roll(field, -shift, axis=ax_z)
+    return out
+
+
+def laplacian_naive(field: np.ndarray, grid: Grid3D) -> np.ndarray:
+    """Second-order Laplacian via explicit Python loops (Table III baseline).
+
+    Only the 2nd-order stencil is implemented because the purpose of this
+    function is to serve as the unoptimised reference point in the
+    optimisation-ladder benchmark; production code always uses
+    :func:`laplacian`.
+    """
+    field = np.asarray(field)
+    if field.shape != grid.shape:
+        raise ValueError("laplacian_naive expects a single field with the grid shape")
+    nx, ny, nz = grid.shape
+    hx, hy, hz = grid.spacing
+    out = np.zeros_like(field)
+    inv_hx2 = 1.0 / hx ** 2
+    inv_hy2 = 1.0 / hy ** 2
+    inv_hz2 = 1.0 / hz ** 2
+    for i in range(nx):
+        ip = (i + 1) % nx
+        im = (i - 1) % nx
+        for j in range(ny):
+            jp = (j + 1) % ny
+            jm = (j - 1) % ny
+            for k in range(nz):
+                kp = (k + 1) % nz
+                km = (k - 1) % nz
+                center = field[i, j, k]
+                out[i, j, k] = (
+                    (field[ip, j, k] - 2.0 * center + field[im, j, k]) * inv_hx2
+                    + (field[i, jp, k] - 2.0 * center + field[i, jm, k]) * inv_hy2
+                    + (field[i, j, kp] - 2.0 * center + field[i, j, km]) * inv_hz2
+                )
+    return out
+
+
+def gradient(field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
+    """Periodic central-difference gradient; returns shape ``(3,) + field.shape``.
+
+    Supports an arbitrary leading batch dimension like :func:`laplacian`.
+    """
+    field = np.asarray(field)
+    if field.shape[-3:] != grid.shape:
+        raise ValueError(
+            f"field grid shape {field.shape[-3:]} does not match grid {grid.shape}"
+        )
+    if order == 2:
+        coeffs = {1: 0.5}
+    elif order == 4:
+        coeffs = {1: 2.0 / 3.0, 2: -1.0 / 12.0}
+    elif order == 6:
+        coeffs = {1: 3.0 / 4.0, 2: -3.0 / 20.0, 3: 1.0 / 60.0}
+    else:
+        raise ValueError("order must be 2, 4 or 6")
+    spacing = grid.spacing
+    out = np.zeros((3,) + field.shape, dtype=field.dtype)
+    for axis in range(3):
+        ax = field.ndim - 3 + axis
+        h = spacing[axis]
+        for shift, c in coeffs.items():
+            out[axis] += (c / h) * (
+                np.roll(field, -shift, axis=ax) - np.roll(field, shift, axis=ax)
+            )
+    return out
+
+
+def divergence(vector_field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
+    """Divergence of a vector field of shape ``(3, nx, ny, nz)``."""
+    vector_field = np.asarray(vector_field)
+    if vector_field.shape[0] != 3 or vector_field.shape[-3:] != grid.shape:
+        raise ValueError("vector_field must have shape (3, nx, ny, nz)")
+    total = np.zeros(grid.shape, dtype=vector_field.dtype)
+    for axis in range(3):
+        component_gradient = gradient(vector_field[axis], grid, order=order)
+        total += component_gradient[axis]
+    return total

@@ -1,0 +1,90 @@
+"""Radial basis functions with smooth cutoff envelopes.
+
+The pair energy of the Allegro-lite model is expanded in a set of Gaussian
+radial basis functions multiplied by a polynomial cutoff envelope that takes
+the value 1 at r = 0 and goes smoothly (value and first two derivatives) to 0
+at the cutoff — the same XPLOR/"polynomial cutoff" used by NequIP/Allegro.
+Both values and analytic derivatives are provided because forces differentiate
+through the basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def polynomial_cutoff(r: np.ndarray, cutoff: float, p: int = 6) -> Tuple[np.ndarray, np.ndarray]:
+    """Smooth polynomial cutoff envelope and its derivative.
+
+    f(x) = 1 - ((p+1)(p+2)/2) x^p + p(p+2) x^(p+1) - (p(p+1)/2) x^(p+2),
+    with x = r / cutoff, clamped to zero beyond the cutoff.
+    """
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    if p < 2:
+        raise ValueError("p must be >= 2")
+    r = np.asarray(r, dtype=float)
+    x = np.clip(r / cutoff, 0.0, 1.0)
+    a = (p + 1.0) * (p + 2.0) / 2.0
+    b = p * (p + 2.0)
+    c = p * (p + 1.0) / 2.0
+    value = 1.0 - a * x ** p + b * x ** (p + 1) - c * x ** (p + 2)
+    derivative = (-a * p * x ** (p - 1) + b * (p + 1) * x ** p - c * (p + 2) * x ** (p + 1)) / cutoff
+    outside = r >= cutoff
+    value = np.where(outside, 0.0, value)
+    derivative = np.where(outside, 0.0, derivative)
+    return value, derivative
+
+
+@dataclass(frozen=True)
+class RadialBasis:
+    """Gaussian radial basis B_k(r) = exp(-(r - mu_k)^2 / 2 s^2) * f_cut(r).
+
+    Parameters
+    ----------
+    cutoff:
+        Radial cutoff in Angstrom.
+    num_basis:
+        Number of Gaussian centres, evenly spaced in (0, cutoff).
+    width_scale:
+        Gaussian width as a multiple of the centre spacing.
+    """
+
+    cutoff: float
+    num_basis: int = 8
+    width_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if self.num_basis < 1:
+            raise ValueError("num_basis must be >= 1")
+        if self.width_scale <= 0:
+            raise ValueError("width_scale must be positive")
+
+    @property
+    def centers(self) -> np.ndarray:
+        return np.linspace(0.0, self.cutoff, self.num_basis + 2)[1:-1]
+
+    @property
+    def width(self) -> float:
+        spacing = self.cutoff / (self.num_basis + 1)
+        return self.width_scale * spacing
+
+    def evaluate(self, distances: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Basis values and radial derivatives for an array of distances.
+
+        Returns arrays of shape ``(n_distances, num_basis)``.
+        """
+        r = np.asarray(distances, dtype=float).reshape(-1)
+        centers = self.centers[None, :]
+        width = self.width
+        gauss = np.exp(-0.5 * ((r[:, None] - centers) / width) ** 2)
+        dgauss = gauss * (-(r[:, None] - centers) / width ** 2)
+        env, denv = polynomial_cutoff(r, self.cutoff)
+        values = gauss * env[:, None]
+        derivatives = dgauss * env[:, None] + gauss * denv[:, None]
+        return values, derivatives

@@ -1,0 +1,98 @@
+"""Sharpness-aware minimisation (SAM): the Allegro-Legato training recipe.
+
+Allegro-Legato (paper Sec. V.A.6, Ref. [27]) improves the *fidelity scaling*
+of exascale NNQMD — the time-to-failure of a simulation grows when the loss
+landscape around the trained minimum is flat, because flat minima produce
+fewer unphysical force outliers when the model is pushed out of distribution.
+SAM (Foret et al., ICLR 2021) finds such flat minima by minimising the worst
+loss within an L2 ball of radius ``rho`` around the parameters:
+
+    1. epsilon = rho * g / ||g||          (ascent step to the sharpest point)
+    2. g_sam   = dL/dtheta at theta + epsilon
+    3. theta  <- base_optimizer(theta, g_sam)
+
+The wrapper below implements exactly this two-evaluation scheme around any
+base optimiser; the fidelity-scaling benchmark compares models trained with
+and without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.nn.optim import Adam
+
+
+@dataclass
+class SAMOptimizer:
+    """Sharpness-aware minimisation wrapper around a base optimiser.
+
+    Parameters
+    ----------
+    base:
+        Any optimiser exposing ``step(parameters, gradient) -> parameters``.
+    rho:
+        Radius of the perturbation ball (in parameter space L2 norm).
+    """
+
+    base: Adam
+    rho: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+
+    def perturb(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """The ascent step: parameters at the (approximate) sharpest point."""
+        gradient = np.asarray(gradient, dtype=float)
+        norm = float(np.linalg.norm(gradient))
+        if norm < 1e-16:
+            return np.asarray(parameters, dtype=float).copy()
+        return np.asarray(parameters, dtype=float) + self.rho * gradient / norm
+
+    def step(
+        self,
+        parameters: np.ndarray,
+        gradient_function: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    ) -> Tuple[np.ndarray, float]:
+        """One SAM update.
+
+        ``gradient_function(parameters)`` must return ``(loss, gradient)`` at
+        the given parameters; it is called twice (once at theta for the ascent
+        direction, once at theta + epsilon for the actual update), which is
+        why SAM costs ~2x a plain optimiser step.
+        Returns the new parameters and the loss at the original point.
+        """
+        parameters = np.asarray(parameters, dtype=float)
+        loss, gradient = gradient_function(parameters)
+        perturbed = self.perturb(parameters, gradient)
+        _, sam_gradient = gradient_function(perturbed)
+        new_parameters = self.base.step(parameters, sam_gradient)
+        return new_parameters, float(loss)
+
+
+def loss_sharpness(
+    loss_function: Callable[[np.ndarray], float],
+    parameters: np.ndarray,
+    rho: float,
+    rng: np.random.Generator,
+    num_directions: int = 8,
+) -> float:
+    """Empirical sharpness: max loss increase over random rho-ball directions.
+
+    Used by the tests and the fidelity-scaling benchmark to verify that SAM
+    training really does land in flatter minima than plain Adam.
+    """
+    if rho <= 0 or num_directions < 1:
+        raise ValueError("rho must be positive and num_directions >= 1")
+    parameters = np.asarray(parameters, dtype=float)
+    base_loss = float(loss_function(parameters))
+    worst = 0.0
+    for _ in range(num_directions):
+        direction = rng.standard_normal(parameters.shape)
+        direction *= rho / (np.linalg.norm(direction) + 1e-16)
+        worst = max(worst, float(loss_function(parameters + direction)) - base_loss)
+    return worst

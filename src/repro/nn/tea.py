@@ -1,0 +1,160 @@
+"""Total energy alignment (TEA): the Allegro-FM multi-fidelity unifier (MSA2).
+
+Foundation-model training data comes from many first-principles codes and
+exchange-correlation functionals whose total energies differ by (to an
+excellent approximation) an affine transformation: a per-dataset scale and a
+per-species atomic reference shift.  TEA (paper Sec. V.A.7, Ref. [49]) aligns
+every dataset to a chosen reference fidelity by fitting those affine
+parameters — which is precisely a "shift and scale in metamodel space", the
+second kind of metamodel-space algebra of the paper.
+
+The implementation solves, per non-reference fidelity d, the least-squares
+problem
+
+    E_ref-like = scale_d * E_d + sum_species n_species(config) * shift_{d,species}
+
+using configurations' species counts as the design matrix; aligned datasets
+can then be concatenated and used to train a single foundation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.dataset import Configuration, ConfigurationDataset
+
+
+@dataclass
+class TotalEnergyAlignment:
+    """Fits and applies per-fidelity affine energy transformations.
+
+    Parameters
+    ----------
+    reference_fidelity:
+        Name of the fidelity whose energy scale everything is mapped onto.
+    fit_scale:
+        Whether to fit a per-dataset multiplicative scale in addition to the
+        per-species shifts (some functional pairs need it; defaults to True).
+    """
+
+    reference_fidelity: str
+    fit_scale: bool = True
+    shifts: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    scales: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _species_counts(configuration: Configuration, species: List[str]) -> np.ndarray:
+        return np.array(
+            [int(np.sum(configuration.atoms.species == s)) for s in species],
+            dtype=float,
+        )
+
+    def fit(self, datasets: Dict[str, ConfigurationDataset],
+            paired_reference: Dict[str, ConfigurationDataset] | None = None) -> None:
+        """Fit alignment parameters.
+
+        Parameters
+        ----------
+        datasets:
+            Mapping fidelity name -> dataset at that fidelity.
+        paired_reference:
+            For each non-reference fidelity, a dataset containing the *same
+            configurations* evaluated at the reference fidelity (the standard
+            TEA situation: a small overlap set computed twice).  When omitted
+            the configurations of the reference dataset itself are matched by
+            index, which requires equal lengths.
+        """
+        if self.reference_fidelity not in datasets:
+            raise ValueError(
+                f"reference fidelity {self.reference_fidelity!r} missing from datasets"
+            )
+        self.shifts.clear()
+        self.scales.clear()
+        reference = datasets[self.reference_fidelity]
+        self.scales[self.reference_fidelity] = 1.0
+        self.shifts[self.reference_fidelity] = {}
+        for fidelity, dataset in datasets.items():
+            if fidelity == self.reference_fidelity:
+                continue
+            if paired_reference is not None and fidelity in paired_reference:
+                ref_set = paired_reference[fidelity]
+            else:
+                ref_set = reference
+            if len(ref_set) != len(dataset):
+                raise ValueError(
+                    f"fidelity {fidelity!r} needs a paired reference set of equal length"
+                )
+            species = sorted(
+                {s for c in dataset for s in c.atoms.species.tolist()}
+            )
+            rows = []
+            targets = []
+            for low, ref in zip(dataset, ref_set):
+                counts = self._species_counts(low, species)
+                if self.fit_scale:
+                    rows.append(np.concatenate(([low.energy], counts)))
+                else:
+                    rows.append(counts)
+                    targets.append(ref.energy - low.energy)
+                    continue
+                targets.append(ref.energy)
+            design = np.asarray(rows, dtype=float)
+            target = np.asarray(targets, dtype=float)
+            solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+            if self.fit_scale:
+                scale = float(solution[0])
+                shift_values = solution[1:]
+            else:
+                scale = 1.0
+                shift_values = solution
+            self.scales[fidelity] = scale
+            self.shifts[fidelity] = {
+                s: float(v) for s, v in zip(species, shift_values)
+            }
+
+    # ------------------------------------------------------------------
+    def transform_energy(self, configuration: Configuration) -> float:
+        """Energy of a configuration mapped onto the reference fidelity."""
+        fidelity = configuration.fidelity
+        scale = self.scales.get(fidelity, 1.0)
+        shifts = self.shifts.get(fidelity, {})
+        shift_total = float(
+            sum(shifts.get(s, 0.0) for s in configuration.atoms.species.tolist())
+        )
+        return scale * configuration.energy + shift_total
+
+    def align(self, dataset: ConfigurationDataset) -> ConfigurationDataset:
+        """Return a new dataset with all energies (and forces) aligned.
+
+        Forces transform with the fitted scale only (shifts are configuration-
+        independent constants, so they do not affect forces).
+        """
+        aligned = ConfigurationDataset()
+        for configuration in dataset:
+            scale = self.scales.get(configuration.fidelity, 1.0)
+            aligned.add(
+                Configuration(
+                    atoms=configuration.atoms,
+                    energy=self.transform_energy(configuration),
+                    forces=scale * configuration.forces,
+                    fidelity=self.reference_fidelity,
+                    metadata=dict(configuration.metadata, original_fidelity=configuration.fidelity),
+                )
+            )
+        return aligned
+
+    def alignment_residual(self, dataset: ConfigurationDataset,
+                           reference: ConfigurationDataset) -> float:
+        """RMS per-atom energy error between aligned and reference labels."""
+        if len(dataset) != len(reference):
+            raise ValueError("datasets must be paired")
+        errors = []
+        for low, ref in zip(dataset, reference):
+            errors.append(
+                (self.transform_energy(low) - ref.energy) / low.atoms.n_atoms
+            )
+        return float(np.sqrt(np.mean(np.square(errors)))) if errors else 0.0

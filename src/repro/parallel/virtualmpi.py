@@ -1,0 +1,202 @@
+"""Virtual MPI: single-process communicators with modelled communication cost.
+
+The hierarchical parallelisation of DC-MESH (one MPI communicator per domain,
+band/space decomposition inside, a world communicator for the few global
+reductions) is reproduced with *virtual* communicators: every rank's data is a
+real NumPy array held in one Python process, collectives perform the real data
+movement (so their semantics can be unit-tested), and every operation charges
+its modelled wall-clock cost to a per-rank ledger using an alpha-beta model.
+The charged times are what the scaling studies consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class VirtualClusterError(RuntimeError):
+    """Raised for malformed virtual-communicator operations."""
+
+
+@dataclass
+class CommunicationCost:
+    """Alpha-beta cost model of one message: alpha + bytes / bandwidth."""
+
+    latency_s: float = 2.0e-6
+    bandwidth_bytes_per_s: float = 25.0e9
+
+    def message(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    def tree_collective(self, num_bytes: float, num_ranks: int) -> float:
+        """Cost of a tree-based collective (reduce/bcast/gather): log2(P) rounds."""
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        rounds = max(1.0, np.ceil(np.log2(num_ranks)))
+        return rounds * self.message(num_bytes)
+
+
+@dataclass
+class VirtualCommunicator:
+    """A communicator over ``size`` virtual ranks.
+
+    All collectives take a list with one entry per rank (the "send buffer" of
+    each virtual rank) and return per-rank results, performing the actual data
+    movement with NumPy while charging modelled time to every participating
+    rank's ledger.
+    """
+
+    size: int
+    cost: CommunicationCost = field(default_factory=CommunicationCost)
+    elapsed_per_rank: np.ndarray = field(init=False, repr=False)
+    message_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise VirtualClusterError("communicator size must be >= 1")
+        self.elapsed_per_rank = np.zeros(self.size)
+
+    # ------------------------------------------------------------------
+    def _check_buffers(self, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(buffers) != self.size:
+            raise VirtualClusterError(
+                f"expected one buffer per rank ({self.size}), got {len(buffers)}"
+            )
+        return [np.asarray(b) for b in buffers]
+
+    def _charge_all(self, seconds: float) -> None:
+        self.elapsed_per_rank += seconds
+        self.message_count += 1
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronisation: costs one zero-byte tree collective."""
+        self._charge_all(self.cost.tree_collective(0.0, self.size))
+
+    def allreduce(self, buffers: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
+        """Element-wise reduction of per-rank arrays, result on every rank."""
+        arrays = self._check_buffers(buffers)
+        stacked = np.stack(arrays)
+        if op == "sum":
+            result = stacked.sum(axis=0)
+        elif op == "max":
+            result = stacked.max(axis=0)
+        elif op == "min":
+            result = stacked.min(axis=0)
+        else:
+            raise VirtualClusterError(f"unknown reduction op {op!r}")
+        num_bytes = result.nbytes
+        # Allreduce = reduce + broadcast: 2 log P rounds.
+        self._charge_all(2.0 * self.cost.tree_collective(num_bytes, self.size))
+        return [result.copy() for _ in range(self.size)]
+
+    def gather(self, buffers: Sequence[np.ndarray], root: int = 0) -> List[np.ndarray] | None:
+        """Gather per-rank arrays to the root rank (returns None-like empties elsewhere)."""
+        arrays = self._check_buffers(buffers)
+        if not (0 <= root < self.size):
+            raise VirtualClusterError("root rank out of range")
+        total_bytes = float(sum(a.nbytes for a in arrays))
+        self._charge_all(self.cost.tree_collective(total_bytes / max(self.size, 1), self.size))
+        return [a.copy() for a in arrays]
+
+    def broadcast(self, value: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Broadcast the root's array to every rank."""
+        if not (0 <= root < self.size):
+            raise VirtualClusterError("root rank out of range")
+        value = np.asarray(value)
+        self._charge_all(self.cost.tree_collective(value.nbytes, self.size))
+        return [value.copy() for _ in range(self.size)]
+
+    def alltoall(self, buffers: Sequence[Sequence[np.ndarray]]) -> List[List[np.ndarray]]:
+        """All-to-all personalised exchange: buffers[i][j] goes from rank i to j."""
+        if len(buffers) != self.size:
+            raise VirtualClusterError("need one send list per rank")
+        for row in buffers:
+            if len(row) != self.size:
+                raise VirtualClusterError("each rank must provide one buffer per peer")
+        received: List[List[np.ndarray]] = [
+            [np.asarray(buffers[src][dst]).copy() for src in range(self.size)]
+            for dst in range(self.size)
+        ]
+        max_bytes = max(
+            (np.asarray(b).nbytes for row in buffers for b in row), default=0
+        )
+        # Pairwise exchange algorithm: P-1 rounds of point-to-point messages.
+        self._charge_all((self.size - 1) * self.cost.message(float(max_bytes)))
+        return received
+
+    def halo_exchange(self, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Nearest-neighbour (ring) halo exchange; returns each rank's received halo.
+
+        Rank i receives rank (i-1)'s buffer — a 1-D ring standing in for the
+        3-D halo exchange of the domain decomposition.  Cost: two messages
+        (left + right neighbour), independent of P, which is what makes the
+        weak scaling of the DC algorithms nearly perfect.
+        """
+        arrays = self._check_buffers(buffers)
+        received = [arrays[(i - 1) % self.size].copy() for i in range(self.size)]
+        max_bytes = max((a.nbytes for a in arrays), default=0)
+        self._charge_all(2.0 * self.cost.message(float(max_bytes)))
+        return received
+
+    # ------------------------------------------------------------------
+    def charge_compute(self, seconds_per_rank: Sequence[float] | float) -> None:
+        """Charge (possibly imbalanced) compute time to the ranks."""
+        seconds = np.broadcast_to(np.asarray(seconds_per_rank, dtype=float), (self.size,))
+        if np.any(seconds < 0):
+            raise VirtualClusterError("compute time must be non-negative")
+        self.elapsed_per_rank = self.elapsed_per_rank + seconds
+
+    @property
+    def wall_clock(self) -> float:
+        """Modelled wall-clock time: the slowest rank's accumulated time."""
+        return float(self.elapsed_per_rank.max())
+
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-rank times (1.0 = perfectly balanced)."""
+        mean = float(self.elapsed_per_rank.mean())
+        if mean <= 0:
+            return 1.0
+        return float(self.elapsed_per_rank.max()) / mean
+
+    def reset(self) -> None:
+        self.elapsed_per_rank = np.zeros(self.size)
+        self.message_count = 0
+
+
+@dataclass
+class HierarchicalCommunicator:
+    """Domain communicators nested inside a world communicator (Sec. V.A.1).
+
+    DC-MESH assigns one communicator per DC domain, with band/space
+    decomposition among the ranks inside the domain; global SCF reductions use
+    the world communicator.  This class wires the two levels together so
+    drivers can express exactly that structure.
+    """
+
+    num_domains: int
+    ranks_per_domain: int
+    cost: CommunicationCost = field(default_factory=CommunicationCost)
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 1 or self.ranks_per_domain < 1:
+            raise VirtualClusterError("domain and rank counts must be >= 1")
+        self.world = VirtualCommunicator(self.num_domains * self.ranks_per_domain, self.cost)
+        self.domain_comms: Dict[int, VirtualCommunicator] = {
+            d: VirtualCommunicator(self.ranks_per_domain, self.cost)
+            for d in range(self.num_domains)
+        }
+
+    @property
+    def world_size(self) -> int:
+        return self.world.size
+
+    def total_wall_clock(self) -> float:
+        """World wall clock plus the slowest domain communicator."""
+        domain_max = max(c.wall_clock for c in self.domain_comms.values())
+        return self.world.wall_clock + domain_max

@@ -1,0 +1,36 @@
+"""Performance measurement: timers, FLOP accounting, time-to-solution metrics.
+
+The paper's headline numbers are all derived quantities — time-to-solution per
+electron (Table I), per atom-weight (Table II), FLOP/s and percent-of-peak
+(Tables IV/V), and weak/strong scaling efficiencies (Figs. 4/5).  This
+subpackage implements those metric definitions exactly as the paper states
+them so benchmark harnesses can print comparable rows.
+"""
+
+from repro.perf.timers import Timer, TimerRegistry, timed
+from repro.perf.flops import FlopCounter, stencil_flops, fft_flops
+from repro.perf.metrics import (
+    flops_rate,
+    me_time_to_solution,
+    nnqmd_time_to_solution,
+    parallel_efficiency_strong,
+    parallel_efficiency_weak,
+    percent_of_peak,
+    speedup,
+)
+
+__all__ = [
+    "Timer",
+    "TimerRegistry",
+    "timed",
+    "FlopCounter",
+    "stencil_flops",
+    "fft_flops",
+    "flops_rate",
+    "me_time_to_solution",
+    "nnqmd_time_to_solution",
+    "parallel_efficiency_strong",
+    "parallel_efficiency_weak",
+    "percent_of_peak",
+    "speedup",
+]

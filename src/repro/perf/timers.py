@@ -1,0 +1,96 @@
+"""Wall-clock timers mirroring the paper's "timers and FLOP count" measurement.
+
+The registry keeps named cumulative timings (e.g. ``kin_prop``, ``nlp_prop``,
+``hartree``, ``scf``) so drivers can report the same kernel-level breakdown the
+paper gives in Tables III and V.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer."""
+
+    name: str
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} was not started")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self.calls += 1
+        self._start = None
+        return delta
+
+    @property
+    def mean(self) -> float:
+        """Mean time per call (0.0 when never called)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None
+
+
+class TimerRegistry:
+    """A collection of named timers with a context-manager interface."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def __getitem__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def __iter__(self):
+        return iter(self._timers.values())
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[Timer]:
+        timer = self[name]
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Return a serialisable summary: elapsed, calls, mean per timer."""
+        return {
+            t.name: {"elapsed": t.elapsed, "calls": float(t.calls), "mean": t.mean}
+            for t in self._timers.values()
+        }
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Stand-alone timing context: ``with timed() as t: ...; t.elapsed``."""
+    timer = Timer("timed")
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()

@@ -1,0 +1,122 @@
+"""Software emulation of reduced floating-point formats.
+
+BF16 (bfloat16) keeps FP32's 8-bit exponent but truncates the mantissa to
+7 explicit bits.  The emulation here rounds an FP32/FP64 array to the nearest
+representable BF16 value by zeroing the low 16 bits of the FP32 bit pattern
+with round-to-nearest-even, which reproduces the precision loss of hardware
+BF16 units exactly.  The ``bf16_split`` helper implements the MKL
+``float_to_BF16x2 / x3`` decomposition: a single FP32 value is written as a sum
+of 1-3 BF16 components so that multiplying component matrices and accumulating
+in FP32 recovers (most of) single-precision accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Canonical names of the precision modes used throughout the library.
+PRECISION_NAMES = ("fp64", "fp32", "bf16", "bf16x2", "bf16x3", "fp16")
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round an array to bfloat16 precision, returned as float32.
+
+    Complex arrays are rounded component-wise.  NaNs and infinities are
+    preserved (their bit patterns already fit in the BF16 exponent range).
+    """
+    values = np.asarray(values)
+    if np.iscomplexobj(values):
+        return bf16_round(values.real) + 1j * bf16_round(values.imag)
+    f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # Round-to-nearest-even on the upper 16 bits of the FP32 pattern.
+    lsb = (bits >> 16) & np.uint32(1)
+    rounding_bias = np.uint32(0x7FFF) + lsb
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32).copy()
+    # Keep NaN/inf untouched (the rounding above can disturb NaN payloads).
+    nonfinite = ~np.isfinite(f32)
+    if np.any(nonfinite):
+        out[nonfinite] = f32[nonfinite]
+    return out.reshape(values.shape)
+
+
+def fp16_round(values: np.ndarray) -> np.ndarray:
+    """Round an array to IEEE half precision, returned as float32."""
+    values = np.asarray(values)
+    if np.iscomplexobj(values):
+        return fp16_round(values.real) + 1j * fp16_round(values.imag)
+    return np.asarray(values, dtype=np.float16).astype(np.float32)
+
+
+def bf16_split(values: np.ndarray, components: int) -> List[np.ndarray]:
+    """Decompose FP32 values into a sum of ``components`` BF16 terms.
+
+    This mirrors MKL's ``float_to_BF16x{1,2,3}`` modes: the first component is
+    the BF16 rounding of the input, the second the BF16 rounding of the
+    residual, and so on.  Summing the components recovers the input to roughly
+    7 * components mantissa bits.
+    """
+    if components not in (1, 2, 3):
+        raise ValueError("components must be 1, 2, or 3")
+    values = np.asarray(values)
+    if np.iscomplexobj(values):
+        real_parts = bf16_split(values.real, components)
+        imag_parts = bf16_split(values.imag, components)
+        return [r + 1j * i for r, i in zip(real_parts, imag_parts)]
+    residual = np.asarray(values, dtype=np.float32).copy()
+    parts: List[np.ndarray] = []
+    for _ in range(components):
+        part = bf16_round(residual)
+        parts.append(part)
+        residual = residual - part
+    return parts
+
+
+def round_to_precision(values: np.ndarray, precision: str) -> np.ndarray:
+    """Round ``values`` to the named precision and return them as float64.
+
+    ``bf16x2`` and ``bf16x3`` reconstruct the value from its multi-component
+    BF16 decomposition, which is how data effectively enters the MKL GEMM in
+    those modes.
+    """
+    precision = precision.lower()
+    values = np.asarray(values)
+    if precision == "fp64":
+        return np.asarray(values, dtype=np.complex128 if np.iscomplexobj(values) else np.float64)
+    if precision == "fp32":
+        if np.iscomplexobj(values):
+            return values.astype(np.complex64).astype(np.complex128)
+        return values.astype(np.float32).astype(np.float64)
+    if precision == "fp16":
+        out = fp16_round(values)
+        return out.astype(np.complex128 if np.iscomplexobj(values) else np.float64)
+    if precision == "bf16":
+        out = bf16_round(values)
+        return out.astype(np.complex128 if np.iscomplexobj(values) else np.float64)
+    if precision in ("bf16x2", "bf16x3"):
+        n = 2 if precision == "bf16x2" else 3
+        parts = bf16_split(values, n)
+        total = parts[0].astype(np.complex128 if np.iscomplexobj(values) else np.float64)
+        for part in parts[1:]:
+            total = total + part
+        return total
+    raise ValueError(f"unknown precision {precision!r}; expected one of {PRECISION_NAMES}")
+
+
+def machine_epsilon(precision: str) -> float:
+    """Approximate unit roundoff of the named format (for error models)."""
+    table = {
+        "fp64": 2.0 ** -53,
+        "fp32": 2.0 ** -24,
+        "fp16": 2.0 ** -11,
+        "bf16": 2.0 ** -8,
+        "bf16x2": 2.0 ** -16,
+        "bf16x3": 2.0 ** -24,
+    }
+    try:
+        return table[precision.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown precision {precision!r}") from exc

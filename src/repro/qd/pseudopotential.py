@@ -1,0 +1,130 @@
+"""Separable nonlocal ionic pseudopotentials applied as dense GEMMs.
+
+The paper's nonlocal operator v_nl collects the nonlocal ionic pseudopotential
+and nonlocal exchange-correlation contributions; both act on the full spatial
+extent of each orbital at once and are therefore executed as dense matrix
+multiplications inside each DC domain (Secs. V.A.2, V.A.5, V.B.5).  Here the
+ionic part is modelled with Kleinman-Bylander-style separable projectors:
+
+    V_nl = sum_p |beta_p> D_p <beta_p|
+
+with Gaussian radial projectors centred on the atoms.  Applying V_nl to the
+orbital block is then two GEMMs — ``P = B^H Psi`` followed by
+``Psi_nl = B (D P)`` — exactly the GEMMified structure of the production code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.grid3d import Grid3D
+from repro.precision.gemm import MixedPrecisionGemm
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class GaussianProjector:
+    """A single Gaussian s-type projector |beta> with strength D.
+
+    Parameters
+    ----------
+    center:
+        Projector centre (atom position) in Bohr.
+    width:
+        Gaussian width in Bohr.
+    strength:
+        Kleinman-Bylander coefficient D_p in Hartree (positive = repulsive).
+    """
+
+    center: tuple
+    width: float
+    strength: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.width, "width")
+        if len(self.center) != 3:
+            raise ValueError("center must be a 3-vector")
+
+    def evaluate(self, grid: Grid3D) -> np.ndarray:
+        """The normalised projector function on the grid."""
+        blob = grid.gaussian(tuple(self.center), self.width)
+        return blob
+
+
+class NonlocalPseudopotential:
+    """A set of separable projectors acting on an orbital block via GEMMs."""
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        projectors: Sequence[GaussianProjector],
+        mode: str = "fp64",
+    ) -> None:
+        if not projectors:
+            raise ValueError("need at least one projector")
+        self.grid = grid
+        self.projectors = list(projectors)
+        self._engine = MixedPrecisionGemm(mode=mode)
+        # B is the (N_grid x N_proj) projector matrix; D the diagonal strengths.
+        columns = [p.evaluate(grid).reshape(-1) for p in self.projectors]
+        self._b = np.ascontiguousarray(np.stack(columns, axis=1))
+        self._d = np.array([p.strength for p in self.projectors], dtype=float)
+
+    @property
+    def num_projectors(self) -> int:
+        return len(self.projectors)
+
+    @property
+    def gemm_engine(self) -> MixedPrecisionGemm:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def apply_matrix(self, psi_matrix: np.ndarray) -> np.ndarray:
+        """V_nl Psi for an (N_grid x N_orb) orbital matrix."""
+        psi_matrix = np.asarray(psi_matrix)
+        if psi_matrix.shape[0] != self._b.shape[0]:
+            raise ValueError("psi matrix rows must equal the number of grid points")
+        # P = B^H Psi  (N_proj x N_orb), scaled by the volume element so the
+        # projection is a proper inner product on the grid.
+        projections = self._engine(self._b.conj().T, psi_matrix) * self.grid.dv
+        weighted = self._d[:, None] * projections
+        return self._engine(self._b.astype(psi_matrix.dtype), weighted)
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """V_nl applied to a stacked orbital array of shape (n_orb, nx, ny, nz)."""
+        psi = np.asarray(psi)
+        single = psi.ndim == 3
+        if single:
+            psi = psi[None]
+        n_orb = psi.shape[0]
+        matrix = psi.reshape(n_orb, -1).T
+        out_matrix = self.apply_matrix(np.ascontiguousarray(matrix))
+        out = out_matrix.T.reshape(n_orb, *self.grid.shape)
+        return out[0] if single else out
+
+    def energy(self, psi: np.ndarray, occupations: np.ndarray) -> float:
+        """Nonlocal pseudopotential energy sum_s f_s <psi_s| V_nl |psi_s>."""
+        psi = np.asarray(psi)
+        if psi.ndim == 3:
+            psi = psi[None]
+        occupations = np.asarray(occupations, dtype=float)
+        if occupations.shape != (psi.shape[0],):
+            raise ValueError("occupations must have one entry per orbital")
+        matrix = psi.reshape(psi.shape[0], -1).T
+        projections = self._engine(self._b.conj().T, np.ascontiguousarray(matrix)) * self.grid.dv
+        # <psi|V|psi> = sum_p D_p |<beta_p|psi>|^2 for each orbital.
+        per_orbital = np.einsum("p,ps->s", self._d, np.abs(projections) ** 2)
+        return float(np.dot(occupations, np.real(per_orbital)))
+
+    def propagate(self, psi: np.ndarray, dt: float) -> np.ndarray:
+        """First-order perturbative propagation exp(-i dt V_nl) ~ 1 - i dt V_nl.
+
+        The paper applies the nonlocal correction perturbatively (Sec. V.B.7,
+        Ref. [53]); the first-order form keeps the GEMM count at two per step.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        return psi - 1j * dt * self.apply(psi)

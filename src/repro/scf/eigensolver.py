@@ -1,0 +1,122 @@
+"""Eigensolvers for the discretised Kohn-Sham Hamiltonian.
+
+Two paths are provided:
+
+* a dense path that materialises the Hamiltonian matrix and calls LAPACK —
+  robust, used for the small grids of the unit tests and the per-domain
+  problems of the examples;
+* a matrix-free path using scipy's LOBPCG on a ``LinearOperator`` built from
+  :meth:`LocalHamiltonian.apply` — the form that scales to the larger grids of
+  the benchmark runs (this is the per-domain "locally dense" solve of the
+  GSLF/GSLD decomposition; the global problem never needs diagonalising).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import scipy.linalg
+from scipy.sparse.linalg import LinearOperator, lobpcg
+
+from repro.qd.hamiltonian import LocalHamiltonian
+
+# Cache of dense kinetic(+grid) matrices keyed by the grid geometry.  Inside an
+# SCF loop only the local potential changes between iterations, so rebuilding
+# the (expensive, FFT-synthesised) kinetic matrix every iteration would
+# dominate the cost of small-cell ground-state solves.
+_KINETIC_CACHE: Dict[tuple, np.ndarray] = {}
+
+
+def _dense_kinetic(hamiltonian: LocalHamiltonian) -> np.ndarray:
+    """Dense kinetic-energy matrix for the Hamiltonian's grid (cached)."""
+    grid = hamiltonian.grid
+    key = (grid.shape, grid.lengths)
+    if key not in _KINETIC_CACHE:
+        n = grid.num_points
+        identity = np.eye(n, dtype=np.complex128)
+        columns = hamiltonian.apply_kinetic(
+            identity.T.reshape(n, *grid.shape)
+        ).reshape(n, n).T
+        _KINETIC_CACHE[key] = 0.5 * (columns + columns.conj().T)
+        if len(_KINETIC_CACHE) > 8:
+            _KINETIC_CACHE.pop(next(iter(_KINETIC_CACHE)))
+    return _KINETIC_CACHE[key]
+
+
+def _dense_hamiltonian(hamiltonian: LocalHamiltonian) -> np.ndarray:
+    """Materialise the Hamiltonian as a dense Hermitian matrix."""
+    n = hamiltonian.grid.num_points
+    matrix = _dense_kinetic(hamiltonian).copy()
+    matrix[np.diag_indices(n)] += hamiltonian.local_potential().reshape(-1)
+    if hamiltonian.nonlocal_pseudopotential is not None:
+        identity = np.eye(n, dtype=np.complex128)
+        nl = hamiltonian.nonlocal_pseudopotential.apply_matrix(identity)
+        matrix = matrix + 0.5 * (nl + nl.conj().T)
+    # Symmetrise against round-off so eigh sees an exactly Hermitian matrix.
+    return 0.5 * (matrix + matrix.conj().T)
+
+
+def lowest_eigenstates(
+    hamiltonian: LocalHamiltonian,
+    n_states: int,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    max_iterations: int = 500,
+    tolerance: float = 1e-8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lowest ``n_states`` eigenpairs of the (current) Kohn-Sham Hamiltonian.
+
+    Returns ``(eigenvalues, orbitals)`` with ``orbitals`` of shape
+    ``(n_states, nx, ny, nz)`` normalised with the grid volume element.
+
+    ``method`` is one of ``dense``, ``lobpcg`` or ``auto`` (dense below 4,096
+    grid points, LOBPCG above).
+    """
+    grid = hamiltonian.grid
+    n_points = grid.num_points
+    if n_states < 1 or n_states > n_points:
+        raise ValueError("n_states must be between 1 and the number of grid points")
+    if method == "auto":
+        method = "dense" if n_points <= 4096 else "lobpcg"
+    if method == "dense":
+        matrix = _dense_hamiltonian(hamiltonian)
+        # Only the lowest n_states eigenpairs are needed; the range driver
+        # (syevr) is much cheaper than a full diagonalisation for that.
+        eigenvalues, eigenvectors = scipy.linalg.eigh(
+            matrix, subset_by_index=[0, n_states - 1]
+        )
+        eigenvalues = eigenvalues[:n_states]
+        orbitals = eigenvectors[:, :n_states].T.reshape(n_states, *grid.shape)
+    elif method == "lobpcg":
+        rng = rng if rng is not None else np.random.default_rng(7)
+
+        def matvec(vec: np.ndarray) -> np.ndarray:
+            psi = vec.reshape(grid.shape)
+            return hamiltonian.apply(psi).reshape(-1)
+
+        operator = LinearOperator(
+            (n_points, n_points), matvec=matvec, dtype=np.complex128
+        )
+        guess = rng.standard_normal((n_points, n_states)) + 1j * rng.standard_normal(
+            (n_points, n_states)
+        )
+        guess, _ = np.linalg.qr(guess)
+        eigenvalues, eigenvectors = lobpcg(
+            operator,
+            guess,
+            largest=False,
+            maxiter=max_iterations,
+            tol=tolerance,
+        )
+        order = np.argsort(eigenvalues)
+        eigenvalues = np.asarray(eigenvalues)[order][:n_states]
+        orbitals = eigenvectors[:, order][:, :n_states].T.reshape(
+            n_states, *grid.shape
+        )
+    else:
+        raise ValueError(f"unknown eigensolver method {method!r}")
+    # Normalise with the grid measure (eigh/lobpcg give unit-vector norm).
+    norms = np.sqrt(np.sum(np.abs(orbitals) ** 2, axis=(1, 2, 3)) * grid.dv)
+    orbitals = orbitals / norms[:, None, None, None]
+    return np.asarray(eigenvalues, dtype=float), orbitals.astype(np.complex128)

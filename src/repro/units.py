@@ -1,0 +1,147 @@
+"""Physical constants and unit conversions used throughout the MLMD reproduction.
+
+The quantum-dynamics (LFD / QXMD) modules work internally in Hartree atomic
+units (a.u.): hbar = m_e = e = 4*pi*eps0 = 1.  The molecular-dynamics and
+ferroelectric-lattice modules work in a "metal-like" unit system (Angstrom, eV,
+femtosecond, atomic mass unit) that is more natural for large-scale MD.  This
+module provides the constants and the conversion factors between the two, so
+every module states its unit system explicitly instead of relying on implicit
+conventions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ----------------------------------------------------------------------------
+# Fundamental constants (CODATA 2018, SI)
+# ----------------------------------------------------------------------------
+
+PLANCK_H_SI = 6.62607015e-34          # J s
+HBAR_SI = PLANCK_H_SI / (2.0 * math.pi)
+ELECTRON_MASS_SI = 9.1093837015e-31   # kg
+ELEMENTARY_CHARGE_SI = 1.602176634e-19  # C
+SPEED_OF_LIGHT_SI = 2.99792458e8      # m / s
+BOLTZMANN_SI = 1.380649e-23           # J / K
+EPSILON0_SI = 8.8541878128e-12        # F / m
+AVOGADRO = 6.02214076e23              # 1 / mol
+
+# ----------------------------------------------------------------------------
+# Hartree atomic units
+# ----------------------------------------------------------------------------
+
+#: Bohr radius in metres.
+BOHR_SI = 5.29177210903e-11
+#: Hartree energy in Joules.
+HARTREE_SI = 4.3597447222071e-18
+#: Atomic unit of time in seconds (~24.188 attoseconds).
+AU_TIME_SI = HBAR_SI / HARTREE_SI
+#: Speed of light in atomic units (= 1 / fine-structure constant).
+SPEED_OF_LIGHT_AU = 137.035999084
+
+# ----------------------------------------------------------------------------
+# Practical conversion factors
+# ----------------------------------------------------------------------------
+
+#: 1 Bohr in Angstrom.
+BOHR_TO_ANGSTROM = 0.529177210903
+ANGSTROM_TO_BOHR = 1.0 / BOHR_TO_ANGSTROM
+
+#: 1 Hartree in electron-volts.
+HARTREE_TO_EV = 27.211386245988
+EV_TO_HARTREE = 1.0 / HARTREE_TO_EV
+
+#: 1 Rydberg in eV (half a Hartree).
+RYDBERG_TO_EV = HARTREE_TO_EV / 2.0
+
+#: 1 atomic unit of time in femtoseconds.
+AU_TIME_TO_FS = AU_TIME_SI * 1.0e15
+FS_TO_AU_TIME = 1.0 / AU_TIME_TO_FS
+
+#: 1 atomic unit of time in attoseconds.
+AU_TIME_TO_AS = AU_TIME_SI * 1.0e18
+AS_TO_AU_TIME = 1.0 / AU_TIME_TO_AS
+
+#: 1 atomic unit of electric field in V/Angstrom.
+AU_FIELD_TO_V_PER_ANGSTROM = 51.4220674763
+#: 1 atomic unit of intensity in W/cm^2.
+AU_INTENSITY_TO_W_PER_CM2 = 3.50944758e16
+
+#: Boltzmann constant in eV / K.
+KB_EV = 8.617333262e-5
+#: Boltzmann constant in Hartree / K.
+KB_HARTREE = KB_EV * EV_TO_HARTREE
+
+#: Atomic mass unit in electron masses (used when converting MD masses to a.u.).
+AMU_TO_ELECTRON_MASS = 1822.888486209
+
+#: Conversion for MD "metal" units: force unit eV/Angstrom, mass amu, time fs.
+#: acceleration [Ang/fs^2] = force [eV/Ang] / mass [amu] * EV_A_AMU_TO_A_FS2
+EV_A_AMU_TO_A_FS2 = 9.648533212e-3
+
+
+def ev_to_hartree(value_ev: float) -> float:
+    """Convert an energy from eV to Hartree."""
+    return value_ev * EV_TO_HARTREE
+
+
+def hartree_to_ev(value_ha: float) -> float:
+    """Convert an energy from Hartree to eV."""
+    return value_ha * HARTREE_TO_EV
+
+
+def angstrom_to_bohr(value_ang: float) -> float:
+    """Convert a length from Angstrom to Bohr."""
+    return value_ang * ANGSTROM_TO_BOHR
+
+
+def bohr_to_angstrom(value_bohr: float) -> float:
+    """Convert a length from Bohr to Angstrom."""
+    return value_bohr * BOHR_TO_ANGSTROM
+
+
+def fs_to_au(value_fs: float) -> float:
+    """Convert a time from femtoseconds to atomic units."""
+    return value_fs * FS_TO_AU_TIME
+
+
+def au_to_fs(value_au: float) -> float:
+    """Convert a time from atomic units to femtoseconds."""
+    return value_au * AU_TIME_TO_FS
+
+
+def attoseconds_to_au(value_as: float) -> float:
+    """Convert a time from attoseconds to atomic units."""
+    return value_as * AS_TO_AU_TIME
+
+
+def au_to_attoseconds(value_au: float) -> float:
+    """Convert a time from atomic units to attoseconds."""
+    return value_au * AU_TIME_TO_AS
+
+
+def photon_energy_ev_to_frequency_au(energy_ev: float) -> float:
+    """Angular frequency (a.u.) of a photon with the given energy in eV."""
+    return energy_ev * EV_TO_HARTREE
+
+
+def wavelength_nm_to_energy_ev(wavelength_nm: float) -> float:
+    """Photon energy in eV for a free-space wavelength in nanometres."""
+    if wavelength_nm <= 0.0:
+        raise ValueError("wavelength must be positive")
+    # E [eV] = h c / lambda;  h c = 1239.84193 eV nm
+    return 1239.841984 / wavelength_nm
+
+
+def energy_ev_to_wavelength_nm(energy_ev: float) -> float:
+    """Free-space wavelength in nanometres for a photon energy in eV."""
+    if energy_ev <= 0.0:
+        raise ValueError("photon energy must be positive")
+    return 1239.841984 / energy_ev
+
+
+def temperature_to_kinetic_energy_ev(temperature_k: float, ndof: int) -> float:
+    """Equipartition kinetic energy (eV) of ``ndof`` degrees of freedom."""
+    if ndof < 0:
+        raise ValueError("ndof must be non-negative")
+    return 0.5 * ndof * KB_EV * temperature_k

@@ -1,0 +1,76 @@
+"""Validation helpers used across the library.
+
+Keeping these in one place makes error messages consistent and keeps the
+numerical code free of repetitive argument checking boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def ensure_probability(value: float, name: str = "value") -> float:
+    """Return ``value`` if it lies in [0, 1], otherwise raise ``ValueError``."""
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def ensure_array(
+    data,
+    dtype=None,
+    ndim: int | None = None,
+    name: str = "array",
+) -> np.ndarray:
+    """Convert ``data`` to an ndarray and optionally check dimensionality."""
+    arr = np.asarray(data, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def ensure_shape(
+    arr: np.ndarray,
+    shape: Sequence[int | None],
+    name: str = "array",
+) -> np.ndarray:
+    """Check that ``arr`` has the given shape.
+
+    ``None`` entries in ``shape`` match any size along that axis.
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and arr.shape[axis] != expected:
+            raise ValueError(
+                f"{name} axis {axis} must have length {expected}, got {arr.shape[axis]}"
+            )
+    return arr
+
+
+def ensure_monotonic(values: Iterable[float], name: str = "values") -> np.ndarray:
+    """Check that a sequence is strictly increasing."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size >= 2 and not np.all(np.diff(arr) > 0):
+        raise ValueError(f"{name} must be strictly increasing")
+    return arr

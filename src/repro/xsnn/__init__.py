@@ -1,0 +1,28 @@
+"""XS-NNQMD: excited-state neural-network quantum molecular dynamics.
+
+The multiscale XN/NN handshake (paper Sec. V.A.8, MSA3): DC-MESH returns the
+per-domain photo-excitation numbers n_exc^(alpha); XS-NNQMD combines the
+ground-state (GS) and excited-state (XS) Allegro-lite force predictions as
+
+    F_i = (1 - w) F_i^GS + w F_i^XS                            (paper Eq. 4)
+
+with the mixing weight w determined by the local excitation.  This subpackage
+provides the force mixer, the excitation-field bookkeeping that maps domain
+excitations onto atoms, the XS fine-tuning helper (GS foundation model +
+additional excited-state data), and the fidelity-scaling (time-to-failure)
+analysis used by the Allegro-Legato study.
+"""
+
+from repro.xsnn.mixing import ExcitedStateMixer, excitation_weight_from_density
+from repro.xsnn.excitation import ExcitationField
+from repro.xsnn.finetune import finetune_excited_state_model
+from repro.xsnn.fidelity import FidelityTracker, time_to_failure_exponent
+
+__all__ = [
+    "ExcitedStateMixer",
+    "excitation_weight_from_density",
+    "ExcitationField",
+    "finetune_excited_state_model",
+    "FidelityTracker",
+    "time_to_failure_exponent",
+]

@@ -1,0 +1,96 @@
+"""Mapping per-domain photo-excitation numbers onto atoms.
+
+DC-MESH produces one excitation count n_exc^(alpha) per spatial DC domain; the
+atomistic XS-NNQMD simulation needs a per-atom (or at least per-region) mixing
+weight.  :class:`ExcitationField` holds the domain-resolved excitation density
+on a coarse spatial grid covering the MD box, converts it to per-atom weights
+by nearest-domain lookup, and supports simple exponential decay in time
+(carrier relaxation) so long XS-NNQMD runs can model the slow return to the
+ground-state surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.md.atoms import AtomsSystem
+
+
+@dataclass
+class ExcitationField:
+    """Excitation density on a coarse domain grid over the MD box.
+
+    Parameters
+    ----------
+    domain_grid:
+        Number of domains along x, y, z (matching the DC decomposition that
+        produced the excitation numbers).
+    box:
+        MD box edge lengths in Angstrom.
+    electrons_per_domain:
+        Number of valence electrons per domain; used to turn absolute
+        excitation counts into fractions in [0, 1].
+    """
+
+    domain_grid: Tuple[int, int, int]
+    box: np.ndarray
+    electrons_per_domain: float
+
+    def __post_init__(self) -> None:
+        if any(n < 1 for n in self.domain_grid):
+            raise ValueError("domain_grid entries must be >= 1")
+        self.box = np.asarray(self.box, dtype=float).reshape(3)
+        if np.any(self.box <= 0):
+            raise ValueError("box lengths must be positive")
+        if self.electrons_per_domain <= 0:
+            raise ValueError("electrons_per_domain must be positive")
+        self._fractions = np.zeros(self.domain_grid)
+
+    # ------------------------------------------------------------------
+    @property
+    def fractions(self) -> np.ndarray:
+        """Excitation fraction per domain, shape ``domain_grid``."""
+        return self._fractions.copy()
+
+    def set_from_counts(self, excitation_counts: np.ndarray) -> None:
+        """Load per-domain excited-electron counts (the DC-MESH gather result)."""
+        counts = np.asarray(excitation_counts, dtype=float)
+        expected = int(np.prod(self.domain_grid))
+        if counts.size != expected:
+            raise ValueError(
+                f"expected {expected} domain counts, got {counts.size}"
+            )
+        fractions = counts.reshape(self.domain_grid) / self.electrons_per_domain
+        self._fractions = np.clip(fractions, 0.0, 1.0)
+
+    def set_uniform(self, fraction: float) -> None:
+        """Set the same excitation fraction everywhere (idealised pump)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must lie in [0, 1]")
+        self._fractions[:] = fraction
+
+    def decay(self, dt_fs: float, lifetime_fs: float) -> None:
+        """Exponential carrier relaxation with the given lifetime."""
+        if dt_fs < 0 or lifetime_fs <= 0:
+            raise ValueError("dt_fs must be >= 0 and lifetime_fs > 0")
+        self._fractions *= np.exp(-dt_fs / lifetime_fs)
+
+    # ------------------------------------------------------------------
+    def domain_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Domain (ix, iy, iz) index of each atomic position."""
+        positions = np.asarray(positions, dtype=float).reshape(-1, 3) % self.box
+        indices = np.floor(
+            positions / self.box * np.asarray(self.domain_grid)
+        ).astype(int)
+        return np.minimum(indices, np.asarray(self.domain_grid) - 1)
+
+    def weights_for_atoms(self, atoms: AtomsSystem) -> np.ndarray:
+        """Per-atom excitation fraction w_i (the Eq. 4 mixing weight)."""
+        indices = self.domain_of_positions(atoms.positions)
+        return self._fractions[indices[:, 0], indices[:, 1], indices[:, 2]]
+
+    def mean_fraction(self) -> float:
+        return float(self._fractions.mean())

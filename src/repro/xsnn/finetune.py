@@ -1,0 +1,48 @@
+"""Excited-state fine-tuning of a ground-state foundation model.
+
+The paper's workflow (Sec. V.A.8): the GS-NNQMD model is the pretrained
+Allegro-FM; the XS-NNQMD model is obtained by fine-tuning that model on
+additional NAQMD (excited-state) training data.  Here the same recipe is
+applied to the Allegro-lite models: the excited-state model starts from a copy
+of the ground-state weights and is trained (optionally with SAM) on
+excited-surface reference data for a small number of epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.dataset import ConfigurationDataset
+from repro.nn.model import AllegroLiteModel
+from repro.nn.training import Trainer, TrainingHistory
+
+
+def finetune_excited_state_model(
+    ground_model: AllegroLiteModel,
+    excited_dataset: ConfigurationDataset,
+    epochs: int = 30,
+    learning_rate: float = 5e-3,
+    use_sam: bool = False,
+    sam_rho: float = 0.05,
+    validation: Optional[ConfigurationDataset] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[AllegroLiteModel, TrainingHistory]:
+    """Fine-tune a copy of ``ground_model`` on excited-state reference data.
+
+    Returns the new excited-state model (the ground-state model is left
+    untouched) together with the training history.
+    """
+    if len(excited_dataset) == 0:
+        raise ValueError("excited_dataset must not be empty")
+    excited_model = ground_model.copy()
+    trainer = Trainer(
+        excited_model,
+        learning_rate=learning_rate,
+        use_sam=use_sam,
+        sam_rho=sam_rho,
+        rng=rng if rng is not None else np.random.default_rng(0),
+    )
+    history = trainer.train(excited_dataset, epochs=epochs, validation=validation)
+    return excited_model, history

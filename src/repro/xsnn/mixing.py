@@ -1,0 +1,103 @@
+"""Ground-state / excited-state force mixing (paper Eq. 4).
+
+Both models predict forces from the same inputs; the mixed force on atom i is
+
+    F_i = (1 - w_i) F_i^GS + w_i F_i^XS
+
+where w_i is the local excitation fraction delivered by the
+:class:`~repro.xsnn.excitation.ExcitationField`.  The mixer satisfies the MD
+engine's ForceField protocol, so XS-NNQMD simulations are just ordinary MD
+runs with this calculator — that is the whole point of the multiscale XN/NN
+metamodel-space construction: no change to the MD integrator is needed when
+the excitation switches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.md.atoms import AtomsSystem
+from repro.md.neighborlist import NeighborList
+from repro.nn.model import AllegroLiteModel
+from repro.xsnn.excitation import ExcitationField
+
+
+def excitation_weight_from_density(
+    excited_electrons: float, total_electrons: float, saturation: float = 0.25
+) -> float:
+    """Convert an excitation count into a mixing weight in [0, 1].
+
+    The weight grows linearly with the excited fraction and saturates at 1
+    when the fraction reaches ``saturation`` — photo-excited carriers screen
+    the ferroelectric instability long before every valence electron is
+    excited, so the mapping has an adjustable gain.
+    """
+    if total_electrons <= 0:
+        raise ValueError("total_electrons must be positive")
+    if saturation <= 0:
+        raise ValueError("saturation must be positive")
+    fraction = max(0.0, excited_electrons) / total_electrons
+    return float(min(1.0, fraction / saturation))
+
+
+@dataclass
+class ExcitedStateMixer:
+    """ForceField combining GS and XS Allegro-lite models per Eq. (4).
+
+    Parameters
+    ----------
+    ground_model, excited_model:
+        The two Allegro-lite models (typically the XS model is a fine-tuned
+        copy of the GS foundation model).
+    excitation:
+        Optional spatially resolved excitation field; when ``None`` the
+        ``uniform_weight`` value is used for every atom.
+    uniform_weight:
+        Global mixing weight used when no excitation field is attached.
+    """
+
+    ground_model: AllegroLiteModel
+    excited_model: AllegroLiteModel
+    excitation: Optional[ExcitationField] = None
+    uniform_weight: float = 0.0
+    cutoff: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.uniform_weight <= 1.0):
+            raise ValueError("uniform_weight must lie in [0, 1]")
+        if abs(self.ground_model.cutoff - self.excited_model.cutoff) > 1e-12:
+            raise ValueError(
+                "ground and excited models must share a cutoff so one neighbour "
+                "list serves both (the paper evaluates both models on the same "
+                "tensor inputs)"
+            )
+        self.cutoff = self.ground_model.cutoff
+
+    # ------------------------------------------------------------------
+    def weights(self, atoms: AtomsSystem) -> np.ndarray:
+        """Per-atom mixing weights w_i."""
+        if self.excitation is None:
+            return np.full(atoms.n_atoms, self.uniform_weight)
+        return np.clip(self.excitation.weights_for_atoms(atoms), 0.0, 1.0)
+
+    def compute(
+        self, atoms: AtomsSystem, neighbor_list: Optional[NeighborList] = None
+    ) -> Tuple[float, np.ndarray]:
+        """Mixed energy and forces (ForceField protocol).
+
+        Both models are evaluated on the same neighbour list ("the same tensor
+        object inputs" of the paper); the energy mixes with the mean atomic
+        weight, the forces mix atom-by-atom.
+        """
+        if neighbor_list is None:
+            neighbor_list = NeighborList(self.cutoff)
+        energy_gs, forces_gs = self.ground_model.energy_and_forces(atoms, neighbor_list)
+        energy_xs, forces_xs = self.excited_model.energy_and_forces(atoms, neighbor_list)
+        w = self.weights(atoms)
+        mixed_forces = (1.0 - w)[:, None] * forces_gs + w[:, None] * forces_xs
+        mean_w = float(np.mean(w)) if w.size else 0.0
+        mixed_energy = (1.0 - mean_w) * energy_gs + mean_w * energy_xs
+        return mixed_energy, mixed_forces

@@ -1,0 +1,151 @@
+"""Tests for DCR/MSA orchestration, the MLMD pipeline, and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import absorption_spectrum, dipole_strength_function, energy_drift, norm_drift
+from repro.analysis.spectra import peak_frequencies
+from repro.core import (
+    DCRDecomposition,
+    HardwareUnit,
+    MetamodelExtrapolation,
+    MLMDPipeline,
+    Subproblem,
+    metamodel_combine,
+)
+from repro.core.dcr import mlmd_decomposition
+
+
+class TestDCR:
+    def test_register_and_report(self):
+        decomposition = DCRDecomposition()
+        decomposition.add_subproblem(Subproblem("lfd", HardwareUnit.GPU, "fp32", 1e9))
+        decomposition.add_subproblem(Subproblem("qxmd", HardwareUnit.CPU, "fp64", 1e7))
+        decomposition.add_interface("lfd", "qxmd", 1e3)
+        assert decomposition.interface_bytes("lfd", "qxmd") == 1e3
+        assert decomposition.total_interface_bytes() == 1e3
+        report = decomposition.report()
+        assert {row["subproblem"] for row in report} == {"lfd", "qxmd"}
+        with pytest.raises(ValueError):
+            decomposition.add_subproblem(Subproblem("lfd", HardwareUnit.GPU, "fp32", 1.0))
+        with pytest.raises(KeyError):
+            decomposition.add_interface("lfd", "missing", 1.0)
+
+    def test_mlmd_decomposition_minimal_mutual_information(self):
+        decomposition = mlmd_decomposition(
+            num_domains=100,
+            orbitals_per_domain=1024,
+            grid_points_per_domain=70 * 70 * 72,
+            atoms_total=1_000_000,
+            nn_weights=690_000,
+        )
+        # The shadow-dynamics handshake (occupations) must be orders of
+        # magnitude smaller than the GPU-resident wave-function state.
+        ratio = decomposition.mutual_information_ratio("lfd", "qxmd")
+        assert ratio < 1e-4
+        # And the DC-MESH -> XS-NNQMD handshake is one number per domain.
+        assert decomposition.interface_bytes("lfd", "xs_nnqmd") == 8.0 * 100
+
+
+class TestMSA:
+    def test_oniom_combination(self):
+        assert metamodel_combine(10.0, 3.0, 2.5) == pytest.approx(10.5)
+
+    def test_force_combination_only_touches_embedded_atoms(self):
+        msa = MetamodelExtrapolation()
+        low_large = np.zeros((5, 3))
+        high_small = np.ones((2, 3))
+        low_small = 0.25 * np.ones((2, 3))
+        combined = msa.combine_forces(low_large, high_small, low_small, np.array([1, 3]))
+        assert np.allclose(combined[[1, 3]], 0.75)
+        assert np.allclose(combined[[0, 2, 4]], 0.0)
+
+    def test_transferability_error(self):
+        msa = MetamodelExtrapolation()
+        assert msa.transferability_error(1.0, 0.4, 2.0, 1.4) == pytest.approx(0.0)
+        assert msa.transferability_error(1.0, 0.4, 2.0, 1.0) == pytest.approx(0.4)
+
+    def test_shape_validation(self):
+        msa = MetamodelExtrapolation()
+        with pytest.raises(ValueError):
+            msa.combine_forces(np.zeros((5, 3)), np.ones((2, 3)), np.ones((3, 3)), np.array([0, 1]))
+
+
+class TestMLMDPipeline:
+    @pytest.fixture(scope="class")
+    def results(self):
+        pumped = MLMDPipeline(
+            supercell_repeats=(20, 20, 1), skyrmions_per_axis=(2, 2),
+            rng=np.random.default_rng(0),
+        ).run(excitation_fraction=0.8, num_steps=250)
+        dark = MLMDPipeline(
+            supercell_repeats=(20, 20, 1), skyrmions_per_axis=(2, 2),
+            rng=np.random.default_rng(0),
+        ).run(excitation_fraction=0.0, num_steps=250)
+        return pumped, dark
+
+    def test_initial_texture_is_topological(self, results):
+        pumped, dark = results
+        assert pumped.initial_label == "skyrmion"
+        assert abs(pumped.topological_charge[0]) == pytest.approx(4.0, abs=0.2)
+        assert abs(dark.topological_charge[0]) == pytest.approx(4.0, abs=0.2)
+
+    def test_pumped_run_switches_dark_run_does_not(self, results):
+        pumped, dark = results
+        assert pumped.switched
+        assert not dark.switched
+        assert abs(dark.topological_charge[-1]) > 0.5 * abs(dark.topological_charge[0])
+        assert abs(pumped.topological_charge[-1]) < 0.5 * abs(pumped.topological_charge[0])
+
+    def test_excitation_decays_over_time(self, results):
+        pumped, _ = results
+        assert pumped.excitation_fraction[0] == pytest.approx(0.8)
+        assert pumped.excitation_fraction[-1] < pumped.excitation_fraction[0]
+
+    def test_excitation_helpers(self):
+        pipeline = MLMDPipeline(rng=np.random.default_rng(1))
+        assert pipeline.fluence_to_excitation(0.0) == 0.0
+        assert 0.0 < pipeline.fluence_to_excitation(1.0) < 1.0
+        fraction = pipeline.excitation_from_dcmesh(np.array([2.0, 4.0]), electrons_per_domain=10.0)
+        assert fraction == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            pipeline.excitation_from_dcmesh(np.array([]), 10.0)
+
+    def test_requires_preparation_before_dynamics(self):
+        pipeline = MLMDPipeline(rng=np.random.default_rng(2))
+        with pytest.raises(RuntimeError):
+            pipeline.run_excited_dynamics(0.5)
+
+
+class TestAnalysis:
+    def test_dipole_spectrum_recovers_oscillation_frequency(self):
+        omega0 = 0.35
+        times = np.linspace(0.0, 400.0, 2000)
+        dipole = 0.01 * np.sin(omega0 * times)
+        omega, strength = absorption_spectrum(times, dipole, kick_strength=0.01, damping=0.02)
+        # Restrict the peak search to the physically relevant window (the
+        # 2*omega/pi prefactor amplifies the high-frequency truncation ripple).
+        window = omega < 2.0
+        peak = omega[window][np.argmax(strength[window])]
+        assert peak == pytest.approx(omega0, abs=0.03)
+
+    def test_peak_frequencies_finds_local_maxima(self):
+        omega = np.linspace(0.0, 2.0, 200)
+        spectrum = np.exp(-((omega - 0.5) / 0.05) ** 2) + 0.4 * np.exp(-((omega - 1.2) / 0.05) ** 2)
+        peaks = peak_frequencies(omega, spectrum, top_n=2)
+        assert peaks[0] == pytest.approx(0.5, abs=0.02)
+        assert peaks[1] == pytest.approx(1.2, abs=0.02)
+
+    def test_strength_function_requires_uniform_grid(self):
+        times = np.array([0.0, 1.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            dipole_strength_function(times, np.zeros(4), 0.01)
+        with pytest.raises(ValueError):
+            dipole_strength_function(np.linspace(0, 1, 10), np.zeros(10), 0.0)
+
+    def test_energy_and_norm_drift(self):
+        assert energy_drift(np.array([1.0, 1.0, 1.0])) == 0.0
+        assert energy_drift(np.array([1.0, 1.1])) == pytest.approx(0.1)
+        assert energy_drift(np.array([0.0, 1e-3]), relative=True) == pytest.approx(1.0)
+        assert norm_drift(np.array([[1.0, 1.0], [1.0, 0.99]])) == pytest.approx(0.01)
+        assert norm_drift(np.array([])) == 0.0

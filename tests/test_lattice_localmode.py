@@ -1,0 +1,151 @@
+"""Tests for the perovskite builders, skyrmion textures and local-mode model."""
+
+import numpy as np
+import pytest
+
+from repro.md.lattice import (
+    PBTIO3_LATTICE_CONSTANT,
+    apply_polar_displacements,
+    extract_local_modes,
+    perovskite_supercell,
+    perovskite_unit_cell,
+    skyrmion_displacement_field,
+)
+from repro.md.localmode import LocalModeLattice, LocalModeModel
+from repro.topology.charge import topological_charge
+from repro.topology.polarization import in_plane_slice
+
+
+class TestPerovskiteBuilders:
+    def test_unit_cell_composition(self):
+        cell = perovskite_unit_cell()
+        assert cell.n_atoms == 5
+        assert sorted(cell.species.tolist()) == ["O", "O", "O", "Pb", "Ti"]
+        assert cell.box[0] == pytest.approx(PBTIO3_LATTICE_CONSTANT)
+
+    def test_supercell_size_and_metadata(self):
+        supercell = perovskite_supercell((3, 2, 1))
+        assert supercell.n_atoms == 5 * 6
+        assert supercell.metadata["repeats"] == (3, 2, 1)
+        # Stoichiometry preserved.
+        assert np.sum(supercell.species == "Ti") == 6
+        assert np.sum(supercell.species == "O") == 18
+
+    def test_apply_and_extract_displacements_round_trip(self):
+        repeats = (3, 3, 1)
+        supercell = perovskite_supercell(repeats)
+        modes = np.zeros((*repeats, 3))
+        modes[..., 2] = 1.0
+        modes[1, 1, 0, 2] = -1.0
+        displaced = apply_polar_displacements(supercell, modes, displacement_amplitude=0.2)
+        recovered = extract_local_modes(displaced, supercell, displacement_amplitude=0.2)
+        assert np.allclose(recovered, modes, atol=1e-10)
+
+    def test_apply_displacements_validates_shape(self):
+        supercell = perovskite_supercell((2, 2, 1))
+        with pytest.raises(ValueError):
+            apply_polar_displacements(supercell, np.zeros((3, 3, 1, 3)))
+
+    def test_displacement_requires_metadata(self):
+        cell = perovskite_unit_cell()
+        cell.metadata.clear()
+        with pytest.raises(ValueError):
+            apply_polar_displacements(cell, np.zeros((1, 1, 1, 3)))
+
+
+class TestSkyrmionTexture:
+    def test_superlattice_charge_equals_skyrmion_count(self):
+        for count in ((1, 1), (2, 2), (3, 2)):
+            field = skyrmion_displacement_field((24, 24, 1), count)
+            charge = topological_charge(in_plane_slice(field, 0))
+            assert abs(charge) == pytest.approx(count[0] * count[1], abs=0.05)
+
+    def test_core_and_background_polarization(self):
+        field = skyrmion_displacement_field((20, 20, 1), (1, 1))
+        # Background is up, the core (cell nearest the centre) is down.
+        assert field[0, 0, 0, 2] == pytest.approx(1.0, abs=0.01)
+        assert field[10, 10, 0, 2] < 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            skyrmion_displacement_field((1, 4, 1), (1, 1))
+        with pytest.raises(ValueError):
+            skyrmion_displacement_field((8, 8, 1), (0, 1))
+        with pytest.raises(ValueError):
+            skyrmion_displacement_field((8, 8, 1), (1, 1), radius_fraction=0.9)
+
+
+class TestLocalModeModel:
+    def test_well_minimum(self):
+        model = LocalModeModel(quadratic=-0.2, quartic=0.1)
+        assert model.well_minimum(0.0) == pytest.approx(1.0)
+        # Full excitation with screening > 1 closes the well.
+        assert model.well_minimum(1.0) == 0.0
+
+    def test_effective_parameters_validate_weight(self):
+        model = LocalModeModel()
+        with pytest.raises(ValueError):
+            model.effective_quadratic(1.5)
+        with pytest.raises(ValueError):
+            model.effective_depolarization(-0.1)
+
+    def test_uniform_state_energy_per_cell(self):
+        model = LocalModeModel(coupling=0.08, anisotropy=0.0, depolarization=0.0)
+        modes = np.zeros((4, 4, 1, 3))
+        modes[..., 2] = model.well_minimum(0.0)
+        lattice = LocalModeLattice(modes, model)
+        expected_per_cell = model.quadratic * 1.0 + model.quartic * 1.0
+        assert lattice.energy() == pytest.approx(16 * expected_per_cell)
+
+    def test_forces_match_numerical_gradient(self):
+        rng = np.random.default_rng(0)
+        model = LocalModeModel(depolarization=0.3)
+        modes = 0.5 * rng.standard_normal((4, 4, 1, 3))
+        lattice = LocalModeLattice(modes, model)
+        force = lattice.forces(excitation_weight=0.2)
+        h = 1e-6
+        for index in [(0, 0, 0, 2), (2, 1, 0, 0), (3, 3, 0, 1)]:
+            plus = LocalModeLattice(modes.copy(), model)
+            plus.modes[index] += h
+            minus = LocalModeLattice(modes.copy(), model)
+            minus.modes[index] -= h
+            numeric = -(plus.energy(0.2) - minus.energy(0.2)) / (2 * h)
+            assert force[index] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_relaxation_reaches_well_minimum(self):
+        model = LocalModeModel(anisotropy=0.0, depolarization=0.0)
+        rng = np.random.default_rng(1)
+        modes = np.zeros((4, 4, 1, 3))
+        modes[..., 2] = 1.0 + 0.1 * rng.standard_normal((4, 4, 1))
+        lattice = LocalModeLattice(modes, model)
+        lattice.relax(num_steps=400, dt=0.5)
+        magnitudes = np.linalg.norm(lattice.modes, axis=-1)
+        assert np.allclose(magnitudes, model.well_minimum(0.0), atol=0.05)
+
+    def test_excited_surface_drives_modes_to_zero(self):
+        model = LocalModeModel()
+        modes = np.zeros((4, 4, 1, 3))
+        modes[..., 2] = 1.0
+        lattice = LocalModeLattice(modes, model)
+        lattice.run(400, dt=1.0, excitation_weight=0.9, damping=0.3)
+        assert np.max(np.abs(lattice.modes)) < 0.2
+
+    def test_energy_conservation_without_damping(self):
+        model = LocalModeModel(depolarization=0.0)
+        rng = np.random.default_rng(2)
+        modes = np.zeros((4, 4, 1, 3))
+        modes[..., 2] = 1.0 + 0.05 * rng.standard_normal((4, 4, 1))
+        lattice = LocalModeLattice(modes, model)
+        kinetic0 = 0.5 * lattice.mode_mass * np.sum(lattice.velocities ** 2)
+        total0 = lattice.energy() + kinetic0
+        for _ in range(200):
+            lattice.step(0.5)
+        kinetic = 0.5 * lattice.mode_mass * np.sum(lattice.velocities ** 2)
+        total = lattice.energy() + kinetic
+        assert total == pytest.approx(total0, abs=5e-3 * abs(total0) + 1e-6)
+
+    def test_mean_polarization(self):
+        modes = np.zeros((2, 2, 1, 3))
+        modes[..., 2] = 0.7
+        lattice = LocalModeLattice(modes, LocalModeModel())
+        assert np.allclose(lattice.mean_polarization(), [0, 0, 0.7])

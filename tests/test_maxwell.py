@@ -1,0 +1,167 @@
+"""Tests for laser pulses, the 1-D multiscale Maxwell solver, and the Yee grid."""
+
+import numpy as np
+import pytest
+
+from repro.maxwell import (
+    GaussianPulse,
+    Maxwell1D,
+    MaxwellCoupler,
+    TrapezoidalPulse,
+    YeeGrid3D,
+)
+from repro.units import SPEED_OF_LIGHT_AU
+
+
+class TestPulses:
+    def test_gaussian_peak_field(self):
+        pulse = GaussianPulse(e0=0.02, omega=0.3, t0=50.0, sigma=10.0)
+        field = pulse.electric_field(50.0)
+        assert np.linalg.norm(field) == pytest.approx(0.02)
+        assert np.allclose(field / np.linalg.norm(field), [0, 0, 1])
+
+    def test_gaussian_field_vanishes_far_away(self):
+        pulse = GaussianPulse(e0=0.02, omega=0.3, t0=50.0, sigma=5.0)
+        assert np.linalg.norm(pulse.electric_field(200.0)) < 1e-10
+        assert np.linalg.norm(pulse.vector_potential(200.0)) < 1e-10
+
+    def test_vector_potential_derivative_gives_field(self):
+        pulse = GaussianPulse(e0=0.01, omega=0.5, t0=40.0, sigma=12.0)
+        t = 40.0
+        h = 1e-3
+        dA_dt = (pulse.vector_potential(t + h) - pulse.vector_potential(t - h)) / (2 * h)
+        e_numeric = -dA_dt / SPEED_OF_LIGHT_AU
+        e_analytic = pulse.electric_field(t)
+        # Slowly-varying-envelope relation: accurate to ~1/(omega*sigma)^2.
+        assert np.allclose(e_numeric, e_analytic, rtol=0.05, atol=1e-5)
+
+    def test_polarization_normalised(self):
+        pulse = GaussianPulse(e0=1.0, omega=0.3, t0=0.0, sigma=1.0, polarization=np.array([2.0, 0.0, 0.0]))
+        assert np.allclose(pulse.polarization, [1, 0, 0])
+        with pytest.raises(ValueError):
+            GaussianPulse(e0=1.0, omega=0.3, t0=0.0, sigma=1.0, polarization=np.zeros(3))
+
+    def test_trapezoidal_envelope(self):
+        pulse = TrapezoidalPulse(e0=0.1, omega=1.0, ramp=10.0, plateau=20.0)
+        assert np.linalg.norm(pulse.electric_field(-1.0)) == pytest.approx(0.0)
+        assert np.abs(pulse._envelope(np.array([20.0]))[0]) == pytest.approx(1.0)
+        assert np.linalg.norm(pulse.electric_field(100.0)) == pytest.approx(0.0)
+
+    def test_fluence_increases_with_amplitude(self):
+        weak = GaussianPulse(e0=0.01, omega=0.3, t0=30.0, sigma=8.0)
+        strong = GaussianPulse(e0=0.02, omega=0.3, t0=30.0, sigma=8.0)
+        assert strong.fluence(60.0) > weak.fluence(60.0)
+
+
+class TestMaxwell1D:
+    def test_cfl_enforced(self):
+        with pytest.raises(ValueError):
+            Maxwell1D(num_points=100, dx=1.0, dt=1.0)
+
+    def test_vacuum_pulse_propagates_at_light_speed(self):
+        dx = 5.0
+        dt = 0.8 * dx / SPEED_OF_LIGHT_AU
+        solver = Maxwell1D(num_points=400, dx=dx, dt=dt)
+        pulse = GaussianPulse(e0=0.05, omega=0.4, t0=20 * dt, sigma=6 * dt)
+        source = solver.inject_pulse(pulse, entry_index=5)
+        num_steps = 250
+        solver.run(num_steps, boundary_source=source, source_index=5)
+        profile = np.abs(solver.vector_potential())
+        peak_index = int(np.argmax(profile))
+        expected = 5 + SPEED_OF_LIGHT_AU * (num_steps * dt - 20 * dt) / dx
+        assert abs(peak_index - expected) < 12
+        assert profile.max() > 1e-4
+
+    def test_field_energy_positive_and_decays_after_absorption(self):
+        dx = 5.0
+        dt = 0.8 * dx / SPEED_OF_LIGHT_AU
+        solver = Maxwell1D(num_points=120, dx=dx, dt=dt)
+        pulse = GaussianPulse(e0=0.05, omega=0.5, t0=15 * dt, sigma=4 * dt)
+        source = solver.inject_pulse(pulse)
+        solver.run(60, boundary_source=source)
+        mid_energy = solver.field_energy()
+        assert mid_energy > 0
+        solver.run(400)  # pulse leaves through the absorbing boundary
+        assert solver.field_energy() < 0.05 * mid_energy
+
+    def test_current_source_generates_field(self):
+        dx = 2.0
+        dt = 0.5 * dx / SPEED_OF_LIGHT_AU
+        solver = Maxwell1D(num_points=50, dx=dx, dt=dt)
+        current = np.zeros(50)
+        current[25] = 1.0
+        solver.step(current)
+        assert np.max(np.abs(solver.vector_potential())) > 0
+
+    def test_current_shape_validated(self):
+        solver = Maxwell1D(num_points=50, dx=2.0, dt=0.001)
+        with pytest.raises(ValueError):
+            solver.step(np.zeros(10))
+
+
+class TestYeeGrid3D:
+    def test_cfl_enforced(self):
+        with pytest.raises(ValueError):
+            YeeGrid3D((8, 8, 8), (1.0, 1.0, 1.0), dt=1.0)
+
+    def test_plane_wave_energy_conserved(self):
+        spacing = (2.0, 2.0, 2.0)
+        dt = 0.4 * 2.0 / (SPEED_OF_LIGHT_AU * np.sqrt(3.0))
+        solver = YeeGrid3D((16, 8, 8), spacing, dt)
+        solver.add_plane_wave(amplitude=0.1, k_index=1)
+        initial = solver.field_energy()
+        for _ in range(100):
+            solver.step()
+        assert solver.field_energy() == pytest.approx(initial, rel=0.05)
+
+    def test_current_reduces_or_changes_field(self):
+        dt = 0.2 * 2.0 / (SPEED_OF_LIGHT_AU * np.sqrt(3.0))
+        solver = YeeGrid3D((8, 8, 8), (2.0, 2.0, 2.0), dt)
+        current = np.zeros((3, 8, 8, 8))
+        current[2, 4, 4, 4] = 1.0
+        solver.step(current)
+        assert np.abs(solver.efield[2, 4, 4, 4]) > 0
+
+    def test_polarization_must_be_transverse(self):
+        dt = 1e-4
+        solver = YeeGrid3D((8, 8, 8), (2.0, 2.0, 2.0), dt)
+        with pytest.raises(ValueError):
+            solver.add_plane_wave(0.1, polarization_axis=0, propagation_axis=0)
+
+
+class TestMaxwellCoupler:
+    def _solver(self):
+        dx = 5.0
+        dt = 0.5 * dx / SPEED_OF_LIGHT_AU
+        return Maxwell1D(num_points=100, dx=dx, dt=dt)
+
+    def test_sampling_interpolates(self):
+        solver = self._solver()
+        solver.a_curr = np.linspace(0.0, 1.0, 100)
+        coupler = MaxwellCoupler(solver, domain_positions=[0.0, 247.5, 495.0])
+        sampled = coupler.sample_vector_potential()
+        assert sampled[0] == pytest.approx(0.0)
+        assert sampled[-1] == pytest.approx(1.0)
+        assert 0.4 < sampled[1] < 0.6
+
+    def test_deposit_is_adjoint_of_sampling(self):
+        solver = self._solver()
+        coupler = MaxwellCoupler(solver, domain_positions=[100.0, 200.0])
+        macro = coupler.deposit_current([1.0, 2.0])
+        # Total deposited current (times dx) equals the sum of domain currents.
+        assert np.sum(macro) * solver.dx == pytest.approx(3.0)
+
+    def test_positions_validated(self):
+        solver = self._solver()
+        with pytest.raises(ValueError):
+            MaxwellCoupler(solver, domain_positions=[1e9])
+        with pytest.raises(ValueError):
+            MaxwellCoupler(solver, domain_positions=[])
+
+    def test_step_returns_sampled_potential(self):
+        solver = self._solver()
+        coupler = MaxwellCoupler(solver, domain_positions=[250.0])
+        pulse = GaussianPulse(e0=0.05, omega=0.4, t0=5 * solver.dt, sigma=3 * solver.dt)
+        source = solver.inject_pulse(pulse)
+        values = [coupler.step([0.0], boundary_source=source)[0] for _ in range(150)]
+        assert np.max(np.abs(values)) > 0  # the pulse eventually reaches the domain

@@ -1,0 +1,200 @@
+"""Tests for nonadiabatic couplings, surface hopping, Ehrenfest forces and MESH."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid3D
+from repro.naqmd import (
+    EhrenfestForces,
+    MESHIntegrator,
+    SurfaceHopping,
+    coupling_from_overlap,
+    nonadiabatic_coupling_matrix,
+)
+from repro.naqmd.nonadiabatic import coupling_strength
+from repro.qd import LocalHamiltonian, OccupationState, RealTimeTDDFT, WaveFunctions
+from repro.qd.hamiltonian import gaussian_external_potential
+from repro.scf import KohnShamSolver
+
+
+class TestNonadiabaticCoupling:
+    def test_identical_states_give_zero_coupling(self, small_grid, rng):
+        wf = WaveFunctions.random(small_grid, 3, rng)
+        coupling = nonadiabatic_coupling_matrix(wf, wf.copy(), dt=1.0)
+        assert np.allclose(coupling, 0.0, atol=1e-12)
+
+    def test_antisymmetric_to_leading_order(self, small_grid, rng):
+        wf1 = WaveFunctions.random(small_grid, 3, rng)
+        wf2 = wf1.copy()
+        wf2.psi += 0.01 * (
+            rng.standard_normal(wf2.psi.shape) + 1j * rng.standard_normal(wf2.psi.shape)
+        )
+        wf2.orthonormalize()
+        coupling = nonadiabatic_coupling_matrix(wf1, wf2, dt=0.5)
+        assert np.allclose(coupling, -coupling.conj().T, atol=1e-3)
+        assert coupling_strength(coupling) > 0
+
+    def test_coupling_from_overlap_formula(self):
+        forward = np.array([[1.0, 0.1], [-0.1, 1.0]])
+        backward = np.array([[1.0, -0.1], [0.1, 1.0]])
+        coupling = coupling_from_overlap(forward, backward, dt=2.0)
+        assert coupling[0, 1] == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            coupling_from_overlap(forward, backward, dt=0.0)
+
+
+class TestSurfaceHopping:
+    def test_no_coupling_means_no_hops(self, rng):
+        sh = SurfaceHopping(np.array([0.0, 0.1, 0.2]), active_state=0, rng=rng)
+        result = sh.step(np.zeros((3, 3)), dt=1.0)
+        assert result.hops == []
+        assert result.active_state == 0
+        assert np.allclose(sh.populations(), [1.0, 0.0, 0.0])
+
+    def test_strong_coupling_transfers_population(self, rng):
+        energies = np.array([0.0, 0.001])
+        coupling = np.array([[0.0, 0.5], [-0.5, 0.0]])
+        sh = SurfaceHopping(energies, active_state=0, rng=rng, substeps=200)
+        sh.step(coupling, dt=2.0)
+        populations = sh.populations()
+        assert populations[1] > 0.1
+        assert np.isclose(populations.sum(), 1.0)
+
+    def test_hops_eventually_occur_and_update_occupations(self):
+        rng = np.random.default_rng(3)
+        energies = np.array([0.0, 0.002])
+        coupling = np.array([[0.0, 0.4], [-0.4, 0.0]])
+        occupations = OccupationState.ground_state(2, 2.0)
+        sh = SurfaceHopping(energies, active_state=0, rng=rng, substeps=100)
+        hopped = False
+        for _ in range(50):
+            result = sh.step(coupling, dt=1.0, occupations=occupations, kinetic_energy=1.0)
+            if result.hops:
+                hopped = True
+                break
+        assert hopped
+        assert occupations.excitation_number() > 0
+
+    def test_frustrated_hop_when_no_kinetic_energy(self):
+        rng = np.random.default_rng(5)
+        energies = np.array([0.0, 5.0])  # huge upward gap
+        coupling = np.array([[0.0, 0.6], [-0.6, 0.0]])
+        sh = SurfaceHopping(energies, active_state=0, rng=rng, substeps=50)
+        for _ in range(50):
+            result = sh.step(coupling, dt=1.0, kinetic_energy=0.0)
+            assert result.active_state == 0  # never allowed to hop up
+        assert True
+
+    def test_probabilities_clipped_to_unit_interval(self, rng):
+        sh = SurfaceHopping(np.array([0.0, 0.1]), active_state=0, rng=rng)
+        result = sh.step(np.array([[0.0, 3.0], [-3.0, 0.0]]), dt=5.0)
+        assert np.all(result.hop_probabilities >= 0.0)
+        assert np.all(result.hop_probabilities <= 1.0)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            SurfaceHopping(np.array([0.0]), 0, rng)
+        with pytest.raises(IndexError):
+            SurfaceHopping(np.array([0.0, 1.0]), 5, rng)
+
+
+class TestEhrenfestForces:
+    def _setup(self):
+        grid = Grid3D((8, 8, 8), (8.0, 8.0, 8.0))
+        forces = EhrenfestForces(grid, depths=[3.0], widths=[1.2], charges=[2.0])
+        return grid, forces
+
+    def test_symmetric_density_gives_zero_force(self):
+        grid, forces = self._setup()
+        density = grid.gaussian((4.0, 4.0, 4.0), 1.0) ** 2
+        density /= float(grid.integrate(density))
+        f = forces.electronic_forces(density, np.array([[4.0, 4.0, 4.0]]))
+        assert np.allclose(f, 0.0, atol=1e-8)
+
+    def test_force_pulls_ion_toward_charge(self):
+        grid, forces = self._setup()
+        density = grid.gaussian((5.0, 4.0, 4.0), 1.0) ** 2
+        density /= float(grid.integrate(density))
+        f = forces.electronic_forces(density, np.array([[3.0, 4.0, 4.0]]))
+        # Electron cloud at x=5, ion at x=3, attractive well -> force along +x.
+        assert f[0, 0] > 0
+
+    def test_force_matches_numerical_gradient(self):
+        grid, forces = self._setup()
+        density = grid.gaussian((4.5, 4.0, 3.5), 1.0) ** 2
+        density /= float(grid.integrate(density))
+        position = np.array([[3.8, 4.2, 4.0]])
+        analytic = forces.electronic_forces(density, position)
+        h = 1e-4
+        numeric = np.zeros(3)
+        for axis in range(3):
+            plus = position.copy()
+            plus[0, axis] += h
+            minus = position.copy()
+            minus[0, axis] -= h
+            e_plus = float(grid.integrate(density * forces.external_potential(plus)))
+            e_minus = float(grid.integrate(density * forces.external_potential(minus)))
+            numeric[axis] = -(e_plus - e_minus) / (2 * h)
+        assert np.allclose(analytic[0], numeric, rtol=1e-3, atol=1e-6)
+
+    def test_ion_ion_repulsion_and_newton_third_law(self):
+        grid = Grid3D((8, 8, 8), (10.0, 10.0, 10.0))
+        forces = EhrenfestForces(grid, depths=[3.0, 3.0], widths=[1.0, 1.0], charges=[2.0, 2.0])
+        positions = np.array([[4.0, 5.0, 5.0], [6.0, 5.0, 5.0]])
+        f = forces.ion_ion_forces(positions)
+        assert f[0, 0] < 0 and f[1, 0] > 0  # repulsion pushes them apart
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-12)
+        assert forces.ion_ion_energy(positions) > 0
+
+
+class TestMESHIntegrator:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        grid = Grid3D((6, 6, 6), (8.0, 8.0, 8.0))
+        position = np.array([[4.0, 4.0, 4.0]])
+        force_model = EhrenfestForces(grid, depths=[3.0], widths=[1.2], charges=[2.0])
+        hamiltonian = LocalHamiltonian(grid, force_model.external_potential(position))
+        scf = KohnShamSolver(
+            hamiltonian, n_electrons=2, n_orbitals=3, max_iterations=25, tolerance=1e-4
+        ).run()
+        engine = RealTimeTDDFT(
+            hamiltonian, scf.wavefunctions.copy(),
+            OccupationState.ground_state(3, 2.0), dt=0.2,
+            update_potentials_every=5,
+        )
+        sh = SurfaceHopping(scf.eigenvalues, active_state=0, rng=np.random.default_rng(0), substeps=20)
+        return MESHIntegrator(
+            tddft=engine,
+            forces=force_model,
+            positions=position,
+            velocities=np.zeros((1, 3)),
+            masses=np.array([50000.0]),
+            md_dt=2.0,
+            qd_substeps=10,
+            surface_hopping=sh,
+        )
+
+    def test_step_produces_consistent_record(self, mesh):
+        result = mesh.step()
+        assert result.time == pytest.approx(2.0)
+        assert result.positions.shape == (1, 3)
+        assert np.isfinite(result.total_energy)
+        assert result.excitation_number >= 0.0
+
+    def test_run_advances_time_and_history(self, mesh):
+        results = mesh.run(2)
+        assert len(results) == 2
+        assert len(mesh.history) >= 3
+        assert results[-1].time > results[0].time
+
+    def test_time_step_consistency_enforced(self, mesh):
+        with pytest.raises(ValueError):
+            MESHIntegrator(
+                tddft=mesh.tddft,
+                forces=mesh.forces,
+                positions=mesh.positions,
+                velocities=mesh.velocities,
+                masses=mesh.masses,
+                md_dt=1.0,
+                qd_substeps=3,  # 1.0 / 3 != tddft.dt
+            )

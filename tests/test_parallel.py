@@ -1,0 +1,218 @@
+"""Tests for the virtual MPI layer, machine models, cost models and scaling studies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    DCMESHCostModel,
+    MACHINES,
+    MachineSpec,
+    NNQMDCostModel,
+    ScalingStudy,
+    VirtualClusterError,
+    VirtualCommunicator,
+    aurora,
+    bluegene_q,
+    fugaku,
+    summit,
+    theta,
+)
+from repro.parallel.scaling import run_scaling_study
+from repro.parallel.virtualmpi import CommunicationCost, HierarchicalCommunicator
+
+
+class TestMachines:
+    def test_registry_contains_all_paper_machines(self):
+        assert set(MACHINES) == {"aurora", "fugaku", "summit", "theta", "bluegene/q"}
+
+    def test_aurora_peak_is_about_two_exaflops(self):
+        machine = aurora()
+        assert machine.peak_flops_fp64_total == pytest.approx(2.76e18, rel=0.01)
+        assert machine.total_accelerators == 120_000
+
+    def test_peak_precision_selector(self):
+        machine = aurora()
+        assert machine.peak_flops("fp32") >= machine.peak_flops("fp64")
+        with pytest.raises(ValueError):
+            machine.peak_flops("int4")
+
+    def test_cpu_machines_have_one_unit_per_node(self):
+        assert fugaku().total_accelerators == fugaku().num_nodes
+        assert theta().total_accelerators == theta().num_nodes
+        assert bluegene_q().total_accelerators == 98_304
+        assert summit().total_accelerators == 768
+
+
+class TestVirtualCommunicator:
+    def test_allreduce_sum_semantics(self):
+        comm = VirtualCommunicator(4)
+        buffers = [np.full(3, float(rank)) for rank in range(4)]
+        results = comm.allreduce(buffers)
+        for result in results:
+            assert np.allclose(result, 0 + 1 + 2 + 3)
+        assert comm.wall_clock > 0
+        assert comm.message_count == 1
+
+    def test_allreduce_max_min(self):
+        comm = VirtualCommunicator(3)
+        buffers = [np.array([float(rank)]) for rank in range(3)]
+        assert np.allclose(comm.allreduce(buffers, op="max")[0], 2.0)
+        assert np.allclose(comm.allreduce(buffers, op="min")[0], 0.0)
+        with pytest.raises(VirtualClusterError):
+            comm.allreduce(buffers, op="prod")
+
+    def test_broadcast_and_gather(self):
+        comm = VirtualCommunicator(3)
+        results = comm.broadcast(np.array([7.0]), root=1)
+        assert all(np.allclose(r, 7.0) for r in results)
+        gathered = comm.gather([np.array([float(r)]) for r in range(3)])
+        assert np.allclose(np.concatenate(gathered), [0.0, 1.0, 2.0])
+
+    def test_halo_exchange_ring(self):
+        comm = VirtualCommunicator(4)
+        received = comm.halo_exchange([np.array([float(rank)]) for rank in range(4)])
+        assert np.allclose([r[0] for r in received], [3.0, 0.0, 1.0, 2.0])
+
+    def test_alltoall(self):
+        comm = VirtualCommunicator(2)
+        sends = [[np.array([0.0]), np.array([1.0])], [np.array([10.0]), np.array([11.0])]]
+        received = comm.alltoall(sends)
+        assert received[0][1][0] == 10.0  # rank 0 receives from rank 1
+        assert received[1][0][0] == 1.0
+
+    def test_buffer_count_validated(self):
+        comm = VirtualCommunicator(3)
+        with pytest.raises(VirtualClusterError):
+            comm.allreduce([np.zeros(2)])
+
+    def test_compute_charging_and_imbalance(self):
+        comm = VirtualCommunicator(4)
+        comm.charge_compute([1.0, 1.0, 1.0, 2.0])
+        assert comm.wall_clock == pytest.approx(2.0)
+        assert comm.load_imbalance() == pytest.approx(2.0 / 1.25)
+        comm.reset()
+        assert comm.wall_clock == 0.0
+
+    @given(size=st.integers(min_value=1, max_value=12), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_matches_numpy_sum(self, size, seed):
+        rng = np.random.default_rng(seed)
+        comm = VirtualCommunicator(size)
+        buffers = [rng.standard_normal(5) for _ in range(size)]
+        results = comm.allreduce(buffers)
+        assert np.allclose(results[0], np.sum(buffers, axis=0))
+
+    def test_hierarchical_communicator(self):
+        hier = HierarchicalCommunicator(num_domains=3, ranks_per_domain=4)
+        assert hier.world_size == 12
+        hier.domain_comms[0].charge_compute(1.0)
+        hier.world.barrier()
+        assert hier.total_wall_clock() > 0
+
+    def test_communication_cost_model(self):
+        cost = CommunicationCost(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert cost.message(1e9) == pytest.approx(1.0 + 1e-6)
+        assert cost.tree_collective(0.0, 1024) == pytest.approx(10e-6)
+
+
+class TestCostModels:
+    def test_dcmesh_t2s_matches_paper(self):
+        model = DCMESHCostModel()
+        t2s = model.time_to_solution(120_000, 128)
+        assert t2s == pytest.approx(1.11e-7, rel=0.05)
+
+    def test_dcmesh_weak_scaling_near_perfect(self):
+        model = DCMESHCostModel()
+        ranks = [6144, 24576, 120_000]
+        study = run_scaling_study(
+            "weak", "dcmesh", ranks,
+            lambda p: 128.0 * p,
+            lambda p: model.weak_scaling_time(p, 128.0),
+        )
+        assert study.efficiency_at_largest() > 0.98
+
+    def test_dcmesh_strong_scaling_matches_paper_value(self):
+        model = DCMESHCostModel()
+        ranks = [24576, 49152, 98304]
+        study = run_scaling_study(
+            "strong", "dcmesh", ranks,
+            lambda p: 12_582_912.0,
+            lambda p: model.strong_scaling_time(p, 12_582_912.0),
+        )
+        assert study.efficiency_at_largest() == pytest.approx(0.843, abs=0.03)
+
+    def test_dcmesh_compute_superlinear_in_orbitals(self):
+        model = DCMESHCostModel()
+        # The GEMM term makes 2x electrons per rank cost more than 2x.
+        assert model.compute_seconds_per_qd_step(256) > 2.0 * model.compute_seconds_per_qd_step(128)
+
+    def test_nnqmd_t2s_matches_paper(self):
+        model = NNQMDCostModel()
+        t2s = model.time_to_solution(120_000, 10_240_000, 690_000)
+        assert t2s == pytest.approx(1.876e-15, rel=0.05)
+
+    def test_nnqmd_weak_efficiency_ordering(self):
+        model = NNQMDCostModel()
+        ranks = [7500, 30_000, 120_000]
+        efficiencies = {}
+        for granularity in (160_000, 640_000, 10_240_000):
+            study = run_scaling_study(
+                "weak", str(granularity), ranks,
+                lambda p, g=granularity: float(g) * p,
+                lambda p, g=granularity: model.weak_scaling_time(p, g),
+            )
+            efficiencies[granularity] = study.efficiency_at_largest()
+        # Smaller granularity -> lower weak-scaling efficiency (paper Fig. 5a ordering).
+        assert efficiencies[160_000] < efficiencies[640_000] < efficiencies[10_240_000]
+        assert efficiencies[10_240_000] > 0.99
+        assert efficiencies[160_000] > 0.9
+
+    def test_nnqmd_strong_efficiency_ordering(self):
+        model = NNQMDCostModel()
+        ranks = [9225, 18450, 36900, 73800]
+        small = run_scaling_study(
+            "strong", "small", ranks, lambda p: 221_400_000.0,
+            lambda p: model.strong_scaling_time(p, 221_400_000.0),
+        ).efficiency_at_largest()
+        large = run_scaling_study(
+            "strong", "large", ranks, lambda p: 984_000_000.0,
+            lambda p: model.strong_scaling_time(p, 984_000_000.0),
+        ).efficiency_at_largest()
+        # Larger problems scale better (paper: 0.773 vs 0.440).
+        assert large > small
+        assert 0.2 < small < 0.6
+        assert 0.5 < large < 0.9
+
+    def test_cost_model_validation(self):
+        model = NNQMDCostModel()
+        with pytest.raises(ValueError):
+            model.weak_scaling_time(10, -1.0)
+        with pytest.raises(ValueError):
+            model.time_to_solution(10, 100.0, 0)
+        dc = DCMESHCostModel()
+        with pytest.raises(ValueError):
+            dc.compute_seconds_per_qd_step(0.0)
+
+
+class TestScalingStudy:
+    def test_weak_and_strong_rows(self):
+        study = ScalingStudy(kind="weak", label="demo")
+        study.add_point(10, 1000.0, 2.0)
+        study.add_point(20, 2000.0, 2.1)
+        rows = study.as_rows()
+        assert len(rows) == 2
+        assert rows[-1]["efficiency"] < 1.0
+        strong = ScalingStudy(kind="strong", label="demo")
+        strong.add_point(10, 100.0, 8.0)
+        strong.add_point(40, 100.0, 2.5)
+        assert strong.speedups()[-1] == pytest.approx(3.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalingStudy(kind="diagonal")
+        study = ScalingStudy(kind="weak")
+        with pytest.raises(ValueError):
+            study.add_point(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            study.efficiencies()

@@ -1,0 +1,141 @@
+"""Tests for timers, FLOP accounting and the paper's derived metrics."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    FlopCounter,
+    Timer,
+    TimerRegistry,
+    fft_flops,
+    flops_rate,
+    me_time_to_solution,
+    nnqmd_time_to_solution,
+    parallel_efficiency_strong,
+    parallel_efficiency_weak,
+    percent_of_peak,
+    speedup,
+    stencil_flops,
+    timed,
+)
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        timer = Timer("t")
+        timer.start()
+        time.sleep(0.01)
+        delta = timer.stop()
+        assert delta > 0 and timer.elapsed >= delta and timer.calls == 1
+        assert timer.mean == pytest.approx(timer.elapsed)
+
+    def test_timer_double_start_raises(self):
+        timer = Timer("t")
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+        with pytest.raises(RuntimeError):
+            timer.stop()
+
+    def test_registry_measure_and_report(self):
+        registry = TimerRegistry()
+        with registry.measure("kin_prop"):
+            time.sleep(0.005)
+        with registry.measure("kin_prop"):
+            pass
+        report = registry.report()
+        assert report["kin_prop"]["calls"] == 2
+        assert "kin_prop" in registry
+        registry.reset()
+        assert registry["kin_prop"].calls == 0
+
+    def test_timed_contextmanager(self):
+        with timed() as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+
+
+class TestFlopCounter:
+    def test_add_and_total(self):
+        counter = FlopCounter()
+        counter.add("gemm", 100)
+        counter.add("gemm", 50)
+        counter.add("stencil", 10)
+        assert counter["gemm"] == 150
+        assert counter.total() == 160
+
+    def test_dc_scaling_rule(self):
+        counter = FlopCounter({"gemm": 10})
+        scaled = counter.scaled(1000)
+        assert scaled["gemm"] == 10_000
+        assert counter["gemm"] == 10  # original untouched
+
+    def test_merge(self):
+        a = FlopCounter({"x": 1})
+        b = FlopCounter({"x": 2, "y": 3})
+        merged = a.merge(b)
+        assert merged["x"] == 3 and merged["y"] == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlopCounter().add("x", -1)
+
+    def test_stencil_and_fft_flops_positive(self):
+        assert stencil_flops(1000, 8, 9) > 0
+        assert fft_flops(4096) > fft_flops(1024) > 0
+        assert fft_flops(1) == 0
+
+
+class TestMetrics:
+    def test_me_t2s_matches_paper_value(self):
+        # Paper Sec. VII.C.1: 1.705 s for 15,360,000 electrons -> 1.11e-7.
+        assert me_time_to_solution(1.705, 15_360_000) == pytest.approx(1.11e-7, rel=1e-2)
+
+    def test_qball_sota_t2s(self):
+        # Table I: Qb@ll, 53.2 s / 59,400 electrons = 8.96e-4.
+        assert me_time_to_solution(53.2, 59_400) == pytest.approx(8.96e-4, rel=1e-2)
+
+    def test_nnqmd_t2s_matches_paper_value(self):
+        # Sec. VII.C.2: 1590.31 s / (1.2288e12 atoms * 690,000 weights).
+        value = nnqmd_time_to_solution(1590.31, 1_228_800_000_000, 690_000)
+        assert value == pytest.approx(1.876e-15, rel=1e-2)
+
+    def test_linker2022_sota_t2s(self):
+        value = nnqmd_time_to_solution(3142.66, 1_007_271_936_000, 440)
+        assert value == pytest.approx(7.091e-12, rel=1e-2)
+
+    def test_flops_rate_and_percent_of_peak(self):
+        assert flops_rate(1e15, 0.5) == pytest.approx(2e15)
+        assert percent_of_peak(1.873e18, 1.869e18) == pytest.approx(100.2, rel=1e-2)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_weak_efficiency_perfect(self):
+        ranks = np.array([4, 8, 16])
+        work = ranks * 100.0
+        seconds = np.full(3, 2.0)
+        eff = parallel_efficiency_weak(work, seconds, ranks)
+        assert np.allclose(eff, 1.0)
+
+    def test_strong_efficiency_ideal_and_degraded(self):
+        ranks = np.array([10, 20, 40])
+        ideal = np.array([8.0, 4.0, 2.0])
+        assert np.allclose(parallel_efficiency_strong(ideal, ranks), 1.0)
+        degraded = np.array([8.0, 4.5, 3.0])
+        eff = parallel_efficiency_strong(degraded, ranks)
+        assert eff[0] == pytest.approx(1.0)
+        assert np.all(np.diff(eff) < 0)
+
+    def test_metric_input_validation(self):
+        with pytest.raises(ValueError):
+            me_time_to_solution(1.0, 0)
+        with pytest.raises(ValueError):
+            nnqmd_time_to_solution(1.0, 10, 0)
+        with pytest.raises(ValueError):
+            parallel_efficiency_weak(np.ones(2), np.ones(3), np.ones(2) + 1)

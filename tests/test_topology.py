@@ -1,0 +1,127 @@
+"""Tests for the topological-charge machinery and texture analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.lattice import skyrmion_displacement_field
+from repro.topology import (
+    classify_texture,
+    polarization_field_from_modes,
+    skyrmion_count,
+    switching_time,
+    topological_charge,
+    topological_charge_density,
+)
+from repro.topology.analysis import charge_trajectory
+from repro.topology.charge import winding_number_1d
+from repro.topology.polarization import in_plane_slice, normalize_texture
+
+
+def _single_skyrmion(n=24, sign=-1.0):
+    field = skyrmion_displacement_field((n, n, 1), (1, 1),
+                                        core_polarization=sign,
+                                        background_polarization=-sign)
+    return in_plane_slice(field, 0)
+
+
+class TestTopologicalCharge:
+    def test_uniform_texture_has_zero_charge(self):
+        texture = np.zeros((16, 16, 3))
+        texture[..., 2] = 1.0
+        assert topological_charge(texture) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_skyrmion_charge_is_unit(self):
+        texture = _single_skyrmion()
+        assert abs(topological_charge(texture)) == pytest.approx(1.0, abs=1e-6)
+        assert skyrmion_count(texture) == 1
+
+    def test_charge_sign_flips_with_core_orientation(self):
+        up_core = _single_skyrmion(sign=1.0)
+        down_core = _single_skyrmion(sign=-1.0)
+        assert topological_charge(up_core) == pytest.approx(-topological_charge(down_core), abs=1e-6)
+
+    def test_superlattice_counts_all_skyrmions(self):
+        field = skyrmion_displacement_field((30, 30, 1), (3, 2))
+        assert skyrmion_count(in_plane_slice(field, 0)) == 6
+
+    def test_charge_density_sums_to_total(self):
+        texture = _single_skyrmion()
+        density = topological_charge_density(texture)
+        assert density.shape == texture.shape[:2]
+        assert density.sum() == pytest.approx(topological_charge(texture))
+
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           amplitude=st.floats(min_value=0.0, max_value=0.15))
+    @settings(max_examples=20, deadline=None)
+    def test_charge_is_integer_under_smooth_perturbations(self, seed, amplitude):
+        """Topological protection: smooth perturbations cannot change Q."""
+        rng = np.random.default_rng(seed)
+        texture = _single_skyrmion(20)
+        # Smooth (long-wavelength) perturbation: random low-order Fourier modes.
+        nx, ny, _ = texture.shape
+        x = np.arange(nx)[:, None] / nx
+        y = np.arange(ny)[None, :] / ny
+        perturbation = np.zeros_like(texture)
+        for _ in range(3):
+            kx, ky = rng.integers(1, 3, 2)
+            phase = rng.uniform(0, 2 * np.pi)
+            bump = np.sin(2 * np.pi * (kx * x + ky * y) + phase)
+            perturbation += amplitude * bump[..., None] * rng.standard_normal(3)
+        perturbed = texture + perturbation
+        q = topological_charge(perturbed)
+        assert q == pytest.approx(round(q), abs=1e-6)
+        assert round(q) == round(topological_charge(texture))
+
+    def test_normalize_texture_handles_zeros(self):
+        texture = np.zeros((4, 4, 3))
+        texture[0, 0] = [0.0, 0.0, 2.0]
+        unit = normalize_texture(texture)
+        assert np.allclose(unit[0, 0], [0, 0, 1])
+        assert np.allclose(unit[1, 1], 0.0)
+
+    def test_winding_number(self):
+        angles = np.linspace(0, 2 * np.pi, 50, endpoint=False)
+        assert winding_number_1d(angles) == 1
+        assert winding_number_1d(np.zeros(10)) == 0
+        assert winding_number_1d(-2 * angles) == -2
+
+
+class TestTextureAnalysis:
+    def test_classify_skyrmion(self):
+        field = skyrmion_displacement_field((24, 24, 1), (2, 2))
+        analysis = classify_texture(field)
+        assert analysis.label == "skyrmion"
+        assert abs(analysis.topological_charge) == pytest.approx(4.0, abs=0.05)
+
+    def test_classify_ferroelectric_and_depolarized(self):
+        uniform = np.zeros((8, 8, 1, 3))
+        uniform[..., 2] = 0.8
+        assert classify_texture(uniform).label == "ferroelectric"
+        assert classify_texture(np.zeros((8, 8, 1, 3))).label == "depolarized"
+
+    def test_polarization_field_scaling(self):
+        modes = np.zeros((2, 2, 1, 3))
+        modes[..., 2] = 1.0
+        field = polarization_field_from_modes(modes, scale=0.75)
+        assert np.allclose(field[..., 2], 0.75)
+
+    def test_switching_time_detection(self):
+        times = np.array([0.0, 10.0, 20.0, 30.0])
+        charges = np.array([4.0, 3.9, 1.5, 0.1])
+        assert switching_time(times, charges) == pytest.approx(20.0)
+        assert switching_time(times, np.full(4, 4.0)) == np.inf
+        assert switching_time(times, np.zeros(4)) == np.inf
+
+    def test_switching_time_validation(self):
+        with pytest.raises(ValueError):
+            switching_time([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            switching_time([0.0], [1.0], threshold_fraction=1.5)
+
+    def test_charge_trajectory(self):
+        fields = [skyrmion_displacement_field((16, 16, 1), (1, 1)),
+                  np.zeros((16, 16, 1, 3))]
+        charges = charge_trajectory(fields)
+        assert abs(charges[0]) == pytest.approx(1.0, abs=1e-6)
+        assert charges[1] == pytest.approx(0.0)

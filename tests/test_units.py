@@ -1,0 +1,53 @@
+"""Tests for physical constants and unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_hartree_ev_round_trip():
+    assert units.hartree_to_ev(units.ev_to_hartree(13.6)) == pytest.approx(13.6)
+    assert units.ev_to_hartree(units.HARTREE_TO_EV) == pytest.approx(1.0)
+
+
+def test_bohr_angstrom_round_trip():
+    assert units.bohr_to_angstrom(units.angstrom_to_bohr(3.97)) == pytest.approx(3.97)
+    assert units.angstrom_to_bohr(units.BOHR_TO_ANGSTROM) == pytest.approx(1.0)
+
+
+def test_time_conversions():
+    # One atomic unit of time is ~24.19 attoseconds.
+    assert units.au_to_attoseconds(1.0) == pytest.approx(24.188843, rel=1e-5)
+    assert units.attoseconds_to_au(units.au_to_attoseconds(2.5)) == pytest.approx(2.5)
+    assert units.fs_to_au(1.0) == pytest.approx(41.34137, rel=1e-4)
+
+
+def test_hydrogen_photon_wavelength():
+    # The Lyman-alpha line (10.2 eV) is ~121.6 nm.
+    assert units.energy_ev_to_wavelength_nm(10.2) == pytest.approx(121.55, rel=1e-3)
+    assert units.wavelength_nm_to_energy_ev(121.55) == pytest.approx(10.2, rel=1e-3)
+
+
+def test_wavelength_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.wavelength_nm_to_energy_ev(0.0)
+    with pytest.raises(ValueError):
+        units.energy_ev_to_wavelength_nm(-1.0)
+
+
+def test_speed_of_light_in_au_matches_fine_structure():
+    assert units.SPEED_OF_LIGHT_AU == pytest.approx(1.0 / 7.2973525693e-3, rel=1e-6)
+
+
+def test_temperature_to_kinetic_energy():
+    # Equipartition: 3N/2 kT; at 300 K, kT ~ 25.85 meV.
+    energy = units.temperature_to_kinetic_energy_ev(300.0, ndof=3)
+    assert energy == pytest.approx(1.5 * 0.025852, rel=1e-3)
+    with pytest.raises(ValueError):
+        units.temperature_to_kinetic_energy_ev(300.0, ndof=-1)
+
+
+def test_au_time_consistency():
+    assert units.AU_TIME_SI * 1e15 == pytest.approx(units.AU_TIME_TO_FS)
+    assert np.isclose(units.KB_HARTREE * units.HARTREE_TO_EV, units.KB_EV)

@@ -1,0 +1,104 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    default_rng,
+    ensure_array,
+    ensure_positive,
+    ensure_probability,
+    ensure_shape,
+    finite_difference_coefficients,
+    moving_average,
+    periodic_delta,
+    relative_error,
+    soft_clip,
+    spawn_rngs,
+)
+
+
+class TestValidation:
+    def test_ensure_positive_accepts_positive(self):
+        assert ensure_positive(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_ensure_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_positive(bad)
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.0) == 0.0
+        assert ensure_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            ensure_probability(1.5)
+
+    def test_ensure_array_checks_ndim_and_finiteness(self):
+        arr = ensure_array([[1.0, 2.0]], ndim=2)
+        assert arr.shape == (1, 2)
+        with pytest.raises(ValueError):
+            ensure_array([1.0, np.nan])
+        with pytest.raises(ValueError):
+            ensure_array([1.0, 2.0], ndim=2)
+
+    def test_ensure_shape_wildcards(self):
+        arr = np.zeros((3, 5))
+        ensure_shape(arr, (3, None))
+        with pytest.raises(ValueError):
+            ensure_shape(arr, (None, 4))
+
+
+class TestRng:
+    def test_spawn_rngs_independent_and_reproducible(self):
+        a1, b1 = spawn_rngs(7, 2)
+        a2, b2 = spawn_rngs(7, 2)
+        assert np.allclose(a1.random(5), a2.random(5))
+        assert not np.allclose(a1.random(5), b1.random(5))
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_default_rng_seeded(self):
+        assert default_rng(3).random() == default_rng(3).random()
+
+
+class TestMathUtils:
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_fd_coefficients_sum_to_zero(self, order):
+        coeffs = finite_difference_coefficients(order)
+        assert np.isclose(coeffs.sum(), 0.0, atol=1e-12)
+        # Applying to x^2 should give exactly 2 (constant second derivative).
+        half = len(coeffs) // 2
+        x = np.arange(-half, half + 1, dtype=float)
+        assert np.isclose(np.dot(coeffs, x ** 2), 2.0)
+
+    def test_fd_coefficients_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            finite_difference_coefficients(3)
+
+    def test_relative_error(self):
+        assert relative_error(np.array([1.1]), np.array([1.0])) == pytest.approx(0.1)
+        assert relative_error(np.array([0.5]), np.zeros(1)) == pytest.approx(0.5)
+
+    def test_periodic_delta_minimum_image(self):
+        box = np.array([10.0, 10.0, 10.0])
+        delta = periodic_delta(np.array([9.5, 0, 0]), np.array([0.5, 0, 0]), box)
+        assert np.allclose(delta, [-1.0, 0.0, 0.0])
+
+    def test_moving_average(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], 2)
+        assert np.allclose(out, [1.5, 2.5, 3.5])
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    @given(st.floats(min_value=0.1, max_value=50.0))
+    def test_soft_clip_bounded(self, limit):
+        values = np.linspace(-1000, 1000, 101)
+        clipped = soft_clip(values, limit)
+        assert np.all(np.abs(clipped) <= limit + 1e-12)
+
+    def test_soft_clip_identity_for_small_values(self):
+        values = np.array([0.01, -0.02])
+        assert np.allclose(soft_clip(values, 10.0), values, atol=1e-5)

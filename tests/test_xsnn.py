@@ -1,0 +1,183 @@
+"""Tests for excited-state NNQMD: excitation fields, force mixing, fine-tuning, fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.md import AtomsSystem, LennardJones, MorsePotential
+from repro.nn import AllegroLiteModel, Trainer, rattle_dataset
+from repro.xsnn import (
+    ExcitationField,
+    ExcitedStateMixer,
+    FidelityTracker,
+    excitation_weight_from_density,
+    finetune_excited_state_model,
+    time_to_failure_exponent,
+)
+from repro.xsnn.fidelity import expected_time_to_failure
+
+
+@pytest.fixture()
+def argon_cluster(rng):
+    positions = 10.0 + rng.uniform(-3.0, 3.0, (16, 3))
+    return AtomsSystem(positions, np.array(["Ar"] * 16, dtype=object), np.array([20.0] * 3))
+
+
+class TestExcitationField:
+    def test_counts_to_fractions(self):
+        field = ExcitationField((2, 2, 1), box=np.array([10.0, 10.0, 5.0]), electrons_per_domain=100.0)
+        field.set_from_counts(np.array([10.0, 0.0, 50.0, 200.0]))
+        fractions = field.fractions
+        assert fractions[0, 0, 0] == pytest.approx(0.1)
+        assert fractions[1, 1, 0] == pytest.approx(1.0)  # clipped
+        assert field.mean_fraction() == pytest.approx((0.1 + 0.0 + 0.5 + 1.0) / 4)
+
+    def test_atom_weights_follow_domains(self):
+        field = ExcitationField((2, 1, 1), box=np.array([10.0, 10.0, 10.0]), electrons_per_domain=10.0)
+        field.set_from_counts(np.array([10.0, 0.0]))
+        atoms = AtomsSystem(
+            np.array([[2.0, 5.0, 5.0], [8.0, 5.0, 5.0]]),
+            np.array(["Ar", "Ar"], dtype=object),
+            np.array([10.0, 10.0, 10.0]),
+        )
+        weights = field.weights_for_atoms(atoms)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.0)
+
+    def test_decay(self):
+        field = ExcitationField((1, 1, 1), box=np.ones(3), electrons_per_domain=1.0)
+        field.set_uniform(0.8)
+        field.decay(dt_fs=100.0, lifetime_fs=100.0)
+        assert field.mean_fraction() == pytest.approx(0.8 * np.exp(-1.0))
+
+    def test_validation(self):
+        field = ExcitationField((2, 1, 1), box=np.ones(3), electrons_per_domain=1.0)
+        with pytest.raises(ValueError):
+            field.set_from_counts(np.array([1.0]))
+        with pytest.raises(ValueError):
+            field.set_uniform(1.5)
+        with pytest.raises(ValueError):
+            ExcitationField((0, 1, 1), box=np.ones(3), electrons_per_domain=1.0)
+
+    def test_weight_from_density_saturates(self):
+        assert excitation_weight_from_density(0.0, 100.0) == 0.0
+        assert excitation_weight_from_density(25.0, 100.0, saturation=0.25) == pytest.approx(1.0)
+        assert excitation_weight_from_density(12.5, 100.0, saturation=0.25) == pytest.approx(0.5)
+
+
+class TestExcitedStateMixer:
+    def _models(self, rng):
+        gs = AllegroLiteModel(species=["Ar"], cutoff=5.0, num_basis=5, hidden=(8,), rng=rng)
+        xs = gs.copy()
+        xs.set_parameters(xs.get_parameters() + 0.3)
+        return gs, xs
+
+    def test_weight_zero_and_one_limits(self, argon_cluster, rng):
+        gs, xs = self._models(rng)
+        e_gs, f_gs = gs.energy_and_forces(argon_cluster)
+        e_xs, f_xs = xs.energy_and_forces(argon_cluster)
+        mixer0 = ExcitedStateMixer(gs, xs, uniform_weight=0.0)
+        mixer1 = ExcitedStateMixer(gs, xs, uniform_weight=1.0)
+        e0, f0 = mixer0.compute(argon_cluster)
+        e1, f1 = mixer1.compute(argon_cluster)
+        assert e0 == pytest.approx(e_gs) and np.allclose(f0, f_gs)
+        assert e1 == pytest.approx(e_xs) and np.allclose(f1, f_xs)
+
+    def test_intermediate_weight_is_linear_mix(self, argon_cluster, rng):
+        gs, xs = self._models(rng)
+        e_gs, f_gs = gs.energy_and_forces(argon_cluster)
+        e_xs, f_xs = xs.energy_and_forces(argon_cluster)
+        mixer = ExcitedStateMixer(gs, xs, uniform_weight=0.3)
+        energy, forces = mixer.compute(argon_cluster)
+        assert energy == pytest.approx(0.7 * e_gs + 0.3 * e_xs)
+        assert np.allclose(forces, 0.7 * f_gs + 0.3 * f_xs)
+
+    def test_spatially_resolved_weights(self, argon_cluster, rng):
+        gs, xs = self._models(rng)
+        excitation = ExcitationField((2, 1, 1), box=argon_cluster.box, electrons_per_domain=1.0)
+        excitation.set_from_counts(np.array([1.0, 0.0]))
+        mixer = ExcitedStateMixer(gs, xs, excitation=excitation)
+        weights = mixer.weights(argon_cluster)
+        left = argon_cluster.positions[:, 0] < argon_cluster.box[0] / 2
+        assert np.allclose(weights[left], 1.0)
+        assert np.allclose(weights[~left], 0.0)
+
+    def test_mismatched_cutoffs_rejected(self, rng):
+        gs = AllegroLiteModel(species=["Ar"], cutoff=5.0, rng=rng)
+        xs = AllegroLiteModel(species=["Ar"], cutoff=4.0, rng=rng)
+        with pytest.raises(ValueError):
+            ExcitedStateMixer(gs, xs)
+
+
+class TestFineTuning:
+    def test_finetuned_model_tracks_excited_surface(self, argon_cluster, rng):
+        ground_truth_gs = LennardJones(cutoff=5.0)
+        ground_truth_xs = MorsePotential(depth=0.2, a=1.2, r0=3.6, cutoff=5.0)
+        gs_data = rattle_dataset(argon_cluster, ground_truth_gs, 15, 0.06, rng)
+        xs_data = rattle_dataset(argon_cluster, ground_truth_xs, 15, 0.06, rng)
+        gs_model = AllegroLiteModel(species=["Ar"], cutoff=5.0, num_basis=8, hidden=(16,), rng=rng)
+        Trainer(gs_model, learning_rate=0.02, batch_size=5, rng=rng).train(gs_data, epochs=20)
+        xs_model, history = finetune_excited_state_model(
+            gs_model, xs_data, epochs=20, learning_rate=0.02, rng=rng
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+        # The ground-state model is untouched by fine-tuning.
+        assert not np.allclose(gs_model.get_parameters(), xs_model.get_parameters())
+        # The fine-tuned model must fit the excited surface better than the GS model does.
+        trainer_eval = Trainer(xs_model, rng=rng)
+        xs_loss, _ = trainer_eval.evaluate(xs_data)
+        trainer_gs_eval = Trainer(gs_model, rng=rng)
+        gs_on_xs_loss, _ = trainer_gs_eval.evaluate(xs_data)
+        assert xs_loss < gs_on_xs_loss
+
+    def test_empty_dataset_rejected(self, rng):
+        gs = AllegroLiteModel(species=["Ar"], rng=rng)
+        from repro.nn.dataset import ConfigurationDataset
+
+        with pytest.raises(ValueError):
+            finetune_excited_state_model(gs, ConfigurationDataset())
+
+
+class TestFidelityScaling:
+    def test_tracker_detects_outliers(self):
+        tracker = FidelityTracker(force_threshold=5.0)
+        assert tracker.check(np.ones((10, 3))) == 0
+        assert not tracker.failed
+        forces = np.ones((10, 3))
+        forces[3] = [100.0, 0.0, 0.0]
+        assert tracker.check(forces) == 1
+        assert tracker.failed
+        assert tracker.time_to_failure(dt_fs=2.0) == pytest.approx(4.0)
+        tracker.reset()
+        assert not tracker.failed
+
+    def test_expected_time_to_failure_shrinks_with_system_size(self):
+        small = expected_time_to_failure(1_000, 1e-7)
+        large = expected_time_to_failure(1_000_000, 1e-7)
+        assert large < small
+        assert expected_time_to_failure(100, 0.0) == np.inf
+
+    def test_exponent_fit_recovers_power_law(self):
+        sizes = np.array([1e3, 1e4, 1e5, 1e6])
+        times = 50.0 * sizes ** -0.29
+        beta, prefactor = time_to_failure_exponent(sizes, times)
+        assert beta == pytest.approx(-0.29, abs=1e-6)
+        assert prefactor == pytest.approx(50.0, rel=1e-6)
+
+    def test_robust_model_survives_longer_at_every_size(self):
+        # Synthetic rates: the robust (SAM-trained) model produces 5x fewer
+        # outliers, so its time-to-failure is longer at every system size and
+        # both follow the ~1/N dilute-limit law.
+        sizes = np.array([1e4, 1e5, 1e6, 1e7])
+        plain = np.array([expected_time_to_failure(n, 3e-8) for n in sizes])
+        robust = np.array([expected_time_to_failure(n, 0.6e-8) for n in sizes])
+        assert np.all(robust > plain)
+        beta_plain, _ = time_to_failure_exponent(sizes, plain)
+        beta_robust, _ = time_to_failure_exponent(sizes, robust)
+        assert beta_plain == pytest.approx(-1.0, abs=0.15)
+        assert beta_robust == pytest.approx(-1.0, abs=0.05)
+
+    def test_exponent_fit_validation(self):
+        with pytest.raises(ValueError):
+            time_to_failure_exponent([100], [1.0])
+        with pytest.raises(ValueError):
+            time_to_failure_exponent([10, 100], [1.0, np.inf])
