@@ -18,7 +18,9 @@ from repro.grid.stencil import (
     gradient,
     laplacian,
     laplacian_naive,
+    laplacian_reference,
     laplacian_stencil_width,
+    shift_difference,
 )
 from repro.grid.poisson import solve_poisson_fft, coulomb_energy
 from repro.grid.multigrid import MultigridPoisson
@@ -28,7 +30,9 @@ __all__ = [
     "gradient",
     "laplacian",
     "laplacian_naive",
+    "laplacian_reference",
     "laplacian_stencil_width",
+    "shift_difference",
     "solve_poisson_fft",
     "coulomb_energy",
     "MultigridPoisson",

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.grid.grid3d import Grid3D
 from repro.grid.stencil import laplacian
+from repro.perf.workspace import get_workspace
 
 
 def _restrict(field: np.ndarray) -> np.ndarray:
@@ -82,22 +83,38 @@ class MultigridPoisson:
     # ------------------------------------------------------------------
     def _smooth(self, potential: np.ndarray, rhs: np.ndarray, grid: Grid3D,
                 sweeps: int) -> np.ndarray:
-        """Damped-Jacobi smoothing for the 2nd-order periodic Laplacian."""
+        """Damped-Jacobi smoothing for the 2nd-order periodic Laplacian.
+
+        Each sweep runs the fused stencil engine into a reusable workspace
+        buffer and folds the residual/update arithmetic into that buffer, so
+        smoothing allocates exactly one array (the working copy of the
+        potential) regardless of the sweep count.
+        """
         hx, hy, hz = grid.spacing
         diag = -2.0 * (1.0 / hx ** 2 + 1.0 / hy ** 2 + 1.0 / hz ** 2)
+        workspace = get_workspace()
+        buffer = workspace.scratch("mg_smooth", potential.shape, potential.dtype)
+        potential = np.array(potential, copy=True)
         for _ in range(sweeps):
-            lap = laplacian(potential, grid, order=2)
-            residual = rhs - lap
-            potential = potential + self.omega * residual / diag
+            lap = laplacian(potential, grid, order=2, out=buffer, workspace=workspace)
+            np.subtract(rhs, lap, out=lap)
+            lap *= self.omega / diag
+            potential += lap
             potential -= potential.mean()
         return potential
 
     def _vcycle(self, potential: np.ndarray, rhs: np.ndarray, level: int) -> np.ndarray:
         grid = self._levels[level]
+        workspace = get_workspace()
         potential = self._smooth(potential, rhs, grid, self.n_smooth)
         if level == len(self._levels) - 1:
             return self._smooth(potential, rhs, grid, 4 * self.n_smooth)
-        residual = rhs - laplacian(potential, grid, order=2)
+        residual = laplacian(
+            potential, grid, order=2,
+            out=workspace.scratch("mg_residual", potential.shape, potential.dtype),
+            workspace=workspace,
+        )
+        np.subtract(rhs, residual, out=residual)
         coarse_rhs = _restrict(residual)
         coarse_correction = self._vcycle(
             np.zeros(self._levels[level + 1].shape), coarse_rhs, level + 1

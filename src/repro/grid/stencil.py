@@ -1,21 +1,35 @@
 """Finite-difference stencil operators on periodic 3-D grids.
 
-Two implementations of the Laplacian are provided on purpose:
+Three implementations of the Laplacian are provided on purpose, mirroring the
+paper's Table III kin_prop() optimisation ladder:
 
 * :func:`laplacian_naive` — a straightforward Python triple loop.  This is the
-  "baseline" row of the paper's Table III kin_prop() optimisation ladder.
-* :func:`laplacian` — the vectorised (``numpy.roll``-based) implementation that
-  corresponds to the data/loop-reordered and blocked variants; it operates on
-  an arbitrary leading batch axis so a whole block of orbitals reuses the same
-  stencil sweep, which is exactly the structure-of-arrays optimisation of
-  Sec. V.B.2-3.
+  "baseline" row of the ladder.
+* :func:`laplacian_reference` — the vectorised ``numpy.roll`` formulation (one
+  fresh shifted copy plus one scaled temporary per stencil term).  This was
+  the production kernel before the fused engine and is retained as the
+  machine-precision cross-check and the "old" rung of the speedup benchmark.
+* :func:`laplacian` — the fused engine: a precomputed
+  :class:`~repro.perf.workspace.StencilPlan` drives in-place ``np.add``
+  accumulation over shifted *views*, so one sweep performs a single scaled
+  multiply per symmetric coefficient and two slice-adds per shift, with zero
+  per-term allocations.  All variants operate on an arbitrary leading batch
+  axis so a whole block of orbitals reuses the same sweep (the
+  structure-of-arrays optimisation of Sec. V.B.2-3).
+
+The same engine is reused by the multigrid smoother
+(:mod:`repro.grid.multigrid`) and, through :func:`shift_difference`, by the
+Yee-lattice curls in :mod:`repro.maxwell.fdtd3d`.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.grid.grid3d import Grid3D
+from repro.perf.workspace import KernelWorkspace, get_workspace
 from repro.utils.mathutils import finite_difference_coefficients
 
 
@@ -24,13 +38,87 @@ def laplacian_stencil_width(order: int) -> int:
     return order + 1
 
 
-def laplacian(field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
+def _accumulate_shifted(out: np.ndarray, src: np.ndarray, axis: int, offset: int) -> None:
+    """``out[..., i, ...] += src[..., (i + offset) % n, ...]`` along ``axis``.
+
+    Equivalent to ``out += np.roll(src, -offset, axis)`` but accumulates the
+    two wrapped segments through views instead of materialising the rolled
+    copy.
+    """
+    n = out.shape[axis]
+    offset %= n
+    if offset == 0:
+        out += src
+        return
+    head = [slice(None)] * out.ndim
+    tail = [slice(None)] * out.ndim
+    # out[:n-offset] += src[offset:]
+    head[axis] = slice(None, n - offset)
+    tail[axis] = slice(offset, None)
+    out[tuple(head)] += src[tuple(tail)]
+    # out[n-offset:] += src[:offset]
+    head[axis] = slice(n - offset, None)
+    tail[axis] = slice(None, offset)
+    out[tuple(head)] += src[tuple(tail)]
+
+
+def apply_stencil_plan(field: np.ndarray, plan, out: Optional[np.ndarray] = None,
+                       scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Apply a :class:`~repro.perf.workspace.StencilPlan` to ``field``.
+
+    ``out`` and ``scratch`` are full-shape work arrays; both must be distinct
+    from ``field`` and from each other.  Fresh arrays are allocated when they
+    are omitted, so the fully-fused path needs the caller (or a workspace) to
+    supply them.
+    """
+    if out is None:
+        out = np.empty_like(field)
+    if out is field or scratch is field or (scratch is not None and scratch is out):
+        raise ValueError("out/scratch must not alias the input field or each other")
+    np.multiply(field, plan.center, out=out)
+    if plan.terms and scratch is None:
+        scratch = np.empty_like(field)
+    for axis, offset, scale in plan.terms:
+        ax = field.ndim - 3 + axis
+        np.multiply(field, scale, out=scratch)
+        _accumulate_shifted(out, scratch, ax, offset)
+        _accumulate_shifted(out, scratch, ax, -offset)
+    return out
+
+
+def laplacian(field: np.ndarray, grid: Grid3D, order: int = 4,
+              out: Optional[np.ndarray] = None,
+              workspace: Optional[KernelWorkspace] = None) -> np.ndarray:
     """Periodic Laplacian of ``field`` (last three axes are the grid axes).
 
     ``field`` may have an arbitrary leading batch dimension, e.g. a stack of
-    Kohn-Sham orbitals of shape ``(n_orb, nx, ny, nz)``; the stencil
-    coefficients are then reused across the whole batch, mirroring the
-    orbital-blocked loop structure of the optimised kin_prop kernel.
+    Kohn-Sham orbitals of shape ``(n_orb, nx, ny, nz)``.  When ``out`` is
+    given the result is written there (it must have the field's shape and must
+    not alias it); the internal scaled-shift temporary always comes from the
+    workspace scratch pool, so repeated sweeps allocate nothing.
+    """
+    field = np.asarray(field)
+    if field.shape[-3:] != grid.shape:
+        raise ValueError(
+            f"field grid shape {field.shape[-3:]} does not match grid {grid.shape}"
+        )
+    if out is not None and out.shape != field.shape:
+        raise ValueError("out must have the same shape as field")
+    ws = workspace if workspace is not None else get_workspace()
+    plan = ws.stencil_plan(grid.spacing, order)
+    scratch = ws.scratch("stencil_mul", field.shape, field.dtype)
+    if scratch is field or scratch is out:
+        # A caller handed us a buffer that happens to be the pooled scratch;
+        # fall back to a private temporary rather than corrupting the sweep.
+        scratch = np.empty_like(field)
+    return apply_stencil_plan(field, plan, out=out, scratch=scratch)
+
+
+def laplacian_reference(field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
+    """Pre-fusion vectorised Laplacian (one ``np.roll`` copy per term).
+
+    Kept as the "old" rung of the stencil speedup benchmark and as the
+    machine-precision reference for the fused engine.
     """
     field = np.asarray(field)
     if field.shape[-3:] != grid.shape:
@@ -41,7 +129,6 @@ def laplacian(field: np.ndarray, grid: Grid3D, order: int = 4) -> np.ndarray:
     half = len(coeffs) // 2
     hx, hy, hz = grid.spacing
     out = np.zeros_like(field)
-    # Axis offsets relative to the batch dimensions.
     ax_x, ax_y, ax_z = field.ndim - 3, field.ndim - 2, field.ndim - 1
     for k, c in enumerate(coeffs):
         shift = k - half
@@ -85,6 +172,43 @@ def laplacian_naive(field: np.ndarray, grid: Grid3D) -> np.ndarray:
                     + (field[i, jp, k] - 2.0 * center + field[i, jm, k]) * inv_hy2
                     + (field[i, j, kp] - 2.0 * center + field[i, j, km]) * inv_hz2
                 )
+    return out
+
+
+def shift_difference(arr: np.ndarray, axis: int, h: float, forward: bool,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """First difference ``(f[i+1]-f[i])/h`` (forward) or ``(f[i]-f[i-1])/h``.
+
+    Periodic wrap along ``axis``; the shifted neighbour is assembled into
+    ``out`` through views so no rolled copy is materialised.  This is the
+    shared first-difference engine behind the Yee-lattice curls.
+    """
+    if out is None:
+        out = np.empty_like(arr)
+    if out is arr:
+        raise ValueError("out must not alias the input array")
+    n = arr.shape[axis]
+    head = [slice(None)] * arr.ndim
+    tail = [slice(None)] * arr.ndim
+    if forward:
+        # out[i] = arr[i+1] (periodic), then subtract arr in place.
+        head[axis] = slice(None, n - 1)
+        tail[axis] = slice(1, None)
+        out[tuple(head)] = arr[tuple(tail)]
+        head[axis] = slice(n - 1, None)
+        tail[axis] = slice(None, 1)
+        out[tuple(head)] = arr[tuple(tail)]
+        np.subtract(out, arr, out=out)
+    else:
+        # out[i] = arr[i-1] (periodic), then subtract from arr in place.
+        head[axis] = slice(1, None)
+        tail[axis] = slice(None, n - 1)
+        out[tuple(head)] = arr[tuple(tail)]
+        head[axis] = slice(None, 1)
+        tail[axis] = slice(n - 1, None)
+        out[tuple(head)] = arr[tuple(tail)]
+        np.subtract(arr, out, out=out)
+    out *= 1.0 / h
     return out
 
 

@@ -14,25 +14,33 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.grid.stencil import shift_difference
 from repro.units import SPEED_OF_LIGHT_AU
 from repro.utils.validation import ensure_positive
 
 
 def _curl(fx: np.ndarray, fy: np.ndarray, fz: np.ndarray,
-          spacing: Tuple[float, float, float], forward: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Discrete curl on the Yee lattice (forward or backward differences)."""
+          spacing: Tuple[float, float, float], forward: bool,
+          out: Optional[np.ndarray] = None,
+          scratch: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Discrete curl on the Yee lattice (forward or backward differences).
+
+    Built on the shared :func:`repro.grid.stencil.shift_difference` engine;
+    ``out`` (shape ``(3,) + grid``) and ``scratch`` (grid shape) let callers
+    reuse buffers across steps so the leapfrog loop allocates nothing.
+    """
     hx, hy, hz = spacing
-    shift = -1 if forward else 1
-
-    def d(arr: np.ndarray, axis: int, h: float) -> np.ndarray:
-        if forward:
-            return (np.roll(arr, -1, axis=axis) - arr) / h
-        return (arr - np.roll(arr, 1, axis=axis)) / h
-
-    cx = d(fz, 1, hy) - d(fy, 2, hz)
-    cy = d(fx, 2, hz) - d(fz, 0, hx)
-    cz = d(fy, 0, hx) - d(fx, 1, hy)
-    del shift
+    if out is None:
+        out = np.empty((3,) + fx.shape, dtype=fx.dtype)
+    if scratch is None:
+        scratch = np.empty_like(fx)
+    cx, cy, cz = out[0], out[1], out[2]
+    shift_difference(fz, 1, hy, forward, out=cx)
+    cx -= shift_difference(fy, 2, hz, forward, out=scratch)
+    shift_difference(fx, 2, hz, forward, out=cy)
+    cy -= shift_difference(fz, 0, hx, forward, out=scratch)
+    shift_difference(fy, 0, hx, forward, out=cz)
+    cz -= shift_difference(fx, 1, hy, forward, out=scratch)
     return cx, cy, cz
 
 
@@ -72,6 +80,9 @@ class YeeGrid3D:
         self.efield = np.zeros((3,) + tuple(self.shape))
         self.bfield = np.zeros((3,) + tuple(self.shape))
         self._time = 0.0
+        # Persistent curl workspace so the leapfrog loop is allocation-free.
+        self._curl_buffer = np.empty_like(self.efield)
+        self._curl_scratch = np.empty(tuple(self.shape))
 
     @property
     def time(self) -> float:
@@ -84,18 +95,17 @@ class YeeGrid3D:
         law with the Gaussian-unit 4*pi factor.
         """
         c = SPEED_OF_LIGHT_AU
+        curl = self._curl_buffer
         # Faraday: dB/dt = -c curl E (forward differences, B on face centres)
-        cx, cy, cz = _curl(self.efield[0], self.efield[1], self.efield[2],
-                           self.spacing, forward=True)
-        self.bfield[0] -= c * self.dt * cx
-        self.bfield[1] -= c * self.dt * cy
-        self.bfield[2] -= c * self.dt * cz
+        _curl(self.efield[0], self.efield[1], self.efield[2],
+              self.spacing, forward=True, out=curl, scratch=self._curl_scratch)
+        curl *= c * self.dt
+        self.bfield -= curl
         # Ampere: dE/dt = c curl B - 4 pi J (backward differences)
-        cx, cy, cz = _curl(self.bfield[0], self.bfield[1], self.bfield[2],
-                           self.spacing, forward=False)
-        self.efield[0] += c * self.dt * cx
-        self.efield[1] += c * self.dt * cy
-        self.efield[2] += c * self.dt * cz
+        _curl(self.bfield[0], self.bfield[1], self.bfield[2],
+              self.spacing, forward=False, out=curl, scratch=self._curl_scratch)
+        curl *= c * self.dt
+        self.efield += curl
         if current_density is not None:
             current_density = np.asarray(current_density, dtype=float)
             if current_density.shape != self.efield.shape:

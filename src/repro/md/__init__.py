@@ -12,7 +12,7 @@ Units: Angstrom, eV, femtoseconds, atomic mass units ("metal" units).
 """
 
 from repro.md.atoms import AtomsSystem
-from repro.md.neighborlist import NeighborList, brute_force_pairs
+from repro.md.neighborlist import NeighborList, brute_force_pairs, build_pairs_reference
 from repro.md.forcefields import (
     ForceField,
     HarmonicWells,
@@ -32,6 +32,7 @@ __all__ = [
     "AtomsSystem",
     "NeighborList",
     "brute_force_pairs",
+    "build_pairs_reference",
     "ForceField",
     "HarmonicWells",
     "LennardJones",

@@ -17,7 +17,7 @@ every MD step (the Δv_loc that the shadow dynamics ships to the GPU).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -73,8 +73,59 @@ class EhrenfestForces:
         )
 
     # ------------------------------------------------------------------
-    def electronic_forces(self, density: np.ndarray, positions: np.ndarray) -> np.ndarray:
-        """Hellmann-Feynman force of the electron density on every ion."""
+    def _pair_geometry(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Minimum-image geometry of every unordered ion pair (i < j).
+
+        Returns ``(iu, ju, delta, r)`` over the strict upper triangle of the
+        pair matrix — the triangular-index form of the former double loop.
+        """
+        box = np.asarray(self.grid.lengths)
+        iu, ju = np.triu_indices(self.n_ions, k=1)
+        delta = periodic_delta(positions[iu], positions[ju], box)
+        r = np.linalg.norm(delta, axis=1)
+        return iu, ju, delta, r
+
+    def electronic_forces(self, density: np.ndarray, positions: np.ndarray,
+                          ion_block: int = 8) -> np.ndarray:
+        """Hellmann-Feynman force of the electron density on every ion.
+
+        Ions are processed in blocks of ``ion_block`` with the grid arithmetic
+        broadcast across the whole block, so the per-ion work is a handful of
+        dense array sweeps; the block size only bounds the (n_ions, grid)
+        broadcast memory.
+        """
+        density = np.asarray(density, dtype=float)
+        if density.shape != self.grid.shape:
+            raise ValueError("density must live on the grid")
+        if ion_block < 1:
+            raise ValueError("ion_block must be >= 1")
+        positions = np.asarray(positions, dtype=float).reshape(self.n_ions, 3)
+        x, y, z = self.grid.meshgrid()
+        lengths = np.asarray(self.grid.lengths)
+        forces = np.zeros((self.n_ions, 3))
+        for start in range(0, self.n_ions, ion_block):
+            stop = min(start + ion_block, self.n_ions)
+            block = positions[start:stop]  # (m, 3)
+            dx = x[None] - block[:, 0, None, None, None]
+            dy = y[None] - block[:, 1, None, None, None]
+            dz = z[None] - block[:, 2, None, None, None]
+            dx -= lengths[0] * np.round(dx / lengths[0])
+            dy -= lengths[1] * np.round(dy / lengths[1])
+            dz -= lengths[2] * np.round(dz / lengths[2])
+            r2 = dx ** 2 + dy ** 2 + dz ** 2
+            w2 = self.widths[start:stop, None, None, None] ** 2
+            # dv_ext/dR = -depth * gauss * (r - R)/w^2  -> F = -∫ n dv/dR
+            weight = density[None] * (
+                -self.depths[start:stop, None, None, None] / w2
+            ) * np.exp(-0.5 * r2 / w2)
+            dv = self.grid.dv
+            forces[start:stop, 0] = -np.sum(weight * dx, axis=(1, 2, 3)) * dv
+            forces[start:stop, 1] = -np.sum(weight * dy, axis=(1, 2, 3)) * dv
+            forces[start:stop, 2] = -np.sum(weight * dz, axis=(1, 2, 3)) * dv
+        return forces
+
+    def electronic_forces_reference(self, density: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Per-ion Python-loop Hellmann-Feynman forces (cross-check reference)."""
         density = np.asarray(density, dtype=float)
         if density.shape != self.grid.shape:
             raise ValueError("density must live on the grid")
@@ -92,18 +143,34 @@ class EhrenfestForces:
             r2 = dx ** 2 + dy ** 2 + dz ** 2
             w2 = self.widths[i] ** 2
             gauss = np.exp(-0.5 * r2 / w2)
-            # dv_ext/dR = -depth * gauss * (r - R)/w^2  -> F = -∫ n dv/dR
             prefactor = -self.depths[i] / w2
-            integrand_x = density * prefactor * gauss * dx
-            integrand_y = density * prefactor * gauss * dy
-            integrand_z = density * prefactor * gauss * dz
-            forces[i, 0] = -float(self.grid.integrate(integrand_x))
-            forces[i, 1] = -float(self.grid.integrate(integrand_y))
-            forces[i, 2] = -float(self.grid.integrate(integrand_z))
+            forces[i, 0] = -float(self.grid.integrate(density * prefactor * gauss * dx))
+            forces[i, 1] = -float(self.grid.integrate(density * prefactor * gauss * dy))
+            forces[i, 2] = -float(self.grid.integrate(density * prefactor * gauss * dz))
         return forces
 
     def ion_ion_forces(self, positions: np.ndarray) -> np.ndarray:
-        """Screened-Coulomb (Yukawa) ion-ion repulsion forces."""
+        """Screened-Coulomb (Yukawa) ion-ion repulsion forces.
+
+        The former O(N^2) double loop is a single sweep over the triangular
+        pair indices followed by a scatter-add back onto the ions.
+        """
+        positions = np.asarray(positions, dtype=float).reshape(self.n_ions, 3)
+        kappa = 1.0 / self.screening_length
+        forces = np.zeros((self.n_ions, 3))
+        iu, ju, delta, r = self._pair_geometry(positions)
+        close = r >= 1e-8
+        iu, ju, delta, r = iu[close], ju[close], delta[close], r[close]
+        qq = self.charges[iu] * self.charges[ju]
+        # d/dr [ q q exp(-kappa r)/r ] = -qq e^{-kr} (1 + kr) / r^2
+        magnitude = qq * np.exp(-kappa * r) * (1.0 + kappa * r) / r ** 2
+        pair_force = (magnitude / r)[:, None] * delta
+        np.add.at(forces, iu, pair_force)
+        np.add.at(forces, ju, -pair_force)
+        return forces
+
+    def ion_ion_forces_reference(self, positions: np.ndarray) -> np.ndarray:
+        """Double-loop Yukawa forces (cross-check reference)."""
         positions = np.asarray(positions, dtype=float).reshape(self.n_ions, 3)
         box = np.asarray(self.grid.lengths)
         forces = np.zeros((self.n_ions, 3))
@@ -117,13 +184,22 @@ class EhrenfestForces:
                 if r < 1e-8:
                     continue
                 qq = self.charges[i] * self.charges[j]
-                # d/dr [ q q exp(-kappa r)/r ] = -qq e^{-kr} (1 + kr) / r^2
                 magnitude = qq * np.exp(-kappa * r) * (1.0 + kappa * r) / r ** 2
                 forces[i] += magnitude * delta / r
         return forces
 
     def ion_ion_energy(self, positions: np.ndarray) -> float:
-        """Total screened-Coulomb ion-ion energy."""
+        """Total screened-Coulomb ion-ion energy (triangular-index sweep)."""
+        positions = np.asarray(positions, dtype=float).reshape(self.n_ions, 3)
+        kappa = 1.0 / self.screening_length
+        iu, ju, _, r = self._pair_geometry(positions)
+        close = r >= 1e-8
+        qq = self.charges[iu[close]] * self.charges[ju[close]]
+        r = r[close]
+        return float(np.sum(qq * np.exp(-kappa * r) / r))
+
+    def ion_ion_energy_reference(self, positions: np.ndarray) -> float:
+        """Double-loop Yukawa energy (cross-check reference)."""
         positions = np.asarray(positions, dtype=float).reshape(self.n_ions, 3)
         box = np.asarray(self.grid.lengths)
         kappa = 1.0 / self.screening_length

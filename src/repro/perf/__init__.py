@@ -9,6 +9,7 @@ them so benchmark harnesses can print comparable rows.
 
 from repro.perf.timers import Timer, TimerRegistry, timed
 from repro.perf.flops import FlopCounter, stencil_flops, fft_flops
+from repro.perf.workspace import KernelWorkspace, LRUCache, StencilPlan, get_workspace
 from repro.perf.metrics import (
     flops_rate,
     me_time_to_solution,
@@ -26,6 +27,10 @@ __all__ = [
     "FlopCounter",
     "stencil_flops",
     "fft_flops",
+    "KernelWorkspace",
+    "LRUCache",
+    "StencilPlan",
+    "get_workspace",
     "flops_rate",
     "me_time_to_solution",
     "nnqmd_time_to_solution",

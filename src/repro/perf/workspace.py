@@ -1,0 +1,225 @@
+"""Reusable kernel workspaces: cached phases, scratch buffers, stencil plans.
+
+The paper's kin_prop optimisation ladder (Table III) and its neighbour-list
+memory analysis (Sec. V.B.9) both boil down to the same observation: the hot
+kernels spend a large share of their time re-computing step-invariant data and
+re-allocating large temporaries.  This module centralises that state:
+
+* **Kinetic phase cache** — ``exp(-i dt (k + A/c)^2 / 2)`` depends only on the
+  grid, the time step and the (uniform) vector potential.  Inside one DC
+  domain ``(dt, A)`` is fixed for a whole step (paper Eq. 3), so the phase is
+  computed once and replayed from an LRU cache on every subsequent
+  ``propagate_exact`` call.
+* **Scratch buffers** — named, shape/dtype-keyed arrays that kernels reuse
+  across calls instead of allocating fresh temporaries per sweep (the
+  structure-of-arrays reuse of Sec. V.B.2-3).
+* **Stencil plans** — precomputed finite-difference coefficient/axis schedules
+  for the fused Laplacian engine in :mod:`repro.grid.stencil`.
+
+A process-wide default workspace is provided by :func:`get_workspace`; kernels
+accept an explicit workspace for callers that want isolated caches.  The
+workspace is **not** thread-safe: scratch buffers are handed out by name and
+concurrent kernels would stomp on each other's temporaries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.units import SPEED_OF_LIGHT_AU
+from repro.utils.mathutils import finite_difference_coefficients
+
+
+class LRUCache:
+    """A small least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``, updating recency and stats."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class StencilPlan:
+    """Precomputed schedule for one fused second-derivative Laplacian sweep.
+
+    ``center`` is the zero-offset coefficient summed over the three axes;
+    ``terms`` lists ``(axis, offset, scale)`` with ``axis`` counted from the
+    last-but-two dimension (0 = x, 1 = y, 2 = z), ``offset > 0`` the stencil
+    reach, and ``scale`` the coefficient divided by the squared spacing.  Each
+    term is applied symmetrically at ``+offset`` and ``-offset``.
+    """
+
+    order: int
+    spacing: Tuple[float, float, float]
+    center: float
+    terms: Tuple[Tuple[int, int, float], ...]
+
+    @staticmethod
+    def build(spacing: Tuple[float, float, float], order: int) -> "StencilPlan":
+        coeffs = finite_difference_coefficients(order)
+        half = len(coeffs) // 2
+        inv_h2 = [1.0 / float(h) ** 2 for h in spacing]
+        center = float(coeffs[half]) * sum(inv_h2)
+        terms = []
+        for axis in range(3):
+            for offset in range(1, half + 1):
+                scale = float(coeffs[half + offset]) * inv_h2[axis]
+                if scale != 0.0:
+                    terms.append((axis, offset, scale))
+        return StencilPlan(
+            order=order,
+            spacing=tuple(float(h) for h in spacing),
+            center=center,
+            terms=tuple(terms),
+        )
+
+
+class KernelWorkspace:
+    """Shared cache/scratch state for the simulation hot kernels.
+
+    Parameters
+    ----------
+    max_phase_entries:
+        LRU capacity of the kinetic-phase cache (one entry per distinct
+        ``(grid, dt, A)`` combination).
+    max_scratch_entries:
+        LRU capacity of the scratch-buffer pool (one entry per distinct
+        ``(tag, shape, dtype)``).
+    """
+
+    def __init__(self, max_phase_entries: int = 32,
+                 max_scratch_entries: int = 64) -> None:
+        self._phases = LRUCache(max_phase_entries)
+        self._scratch = LRUCache(max_scratch_entries)
+        self._plans: dict = {}
+
+    # ------------------------------------------------------------------
+    # Kinetic phase cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def kinetic_energy_grid(grid, vector_potential: Optional[np.ndarray] = None) -> np.ndarray:
+        """``(k + A/c)^2 / 2`` on the full grid (uncached helper)."""
+        kx, ky, kz = grid.kvectors()
+        if vector_potential is None:
+            a = np.zeros(3)
+        else:
+            a = np.asarray(vector_potential, dtype=float).reshape(3)
+        kin = (
+            (kx[:, None, None] + a[0] / SPEED_OF_LIGHT_AU) ** 2
+            + (ky[None, :, None] + a[1] / SPEED_OF_LIGHT_AU) ** 2
+            + (kz[None, None, :] + a[2] / SPEED_OF_LIGHT_AU) ** 2
+        )
+        return 0.5 * kin
+
+    def kinetic_phase(self, grid, dt: float,
+                      vector_potential: Optional[np.ndarray] = None) -> np.ndarray:
+        """Cached ``exp(-i dt (k + A/c)^2 / 2)`` for a uniform vector potential.
+
+        The returned array is marked read-only: it is shared between every
+        caller that hits the same ``(grid, dt, A)`` key.
+        """
+        if vector_potential is None:
+            a_key = None
+        else:
+            a = np.asarray(vector_potential, dtype=float).reshape(3)
+            a_key = (float(a[0]), float(a[1]), float(a[2]))
+        key = (grid.shape, grid.lengths, float(dt), a_key)
+        phase = self._phases.get(key)
+        if phase is None:
+            kinetic = self.kinetic_energy_grid(grid, vector_potential)
+            phase = np.exp(-1j * float(dt) * kinetic)
+            phase.setflags(write=False)
+            self._phases.put(key, phase)
+        return phase
+
+    # ------------------------------------------------------------------
+    # Stencil plans
+    # ------------------------------------------------------------------
+    def stencil_plan(self, spacing: Tuple[float, float, float], order: int) -> StencilPlan:
+        """Cached finite-difference plan for the fused Laplacian engine."""
+        key = (tuple(float(h) for h in spacing), int(order))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = StencilPlan.build(key[0], key[1])
+            self._plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Scratch buffers
+    # ------------------------------------------------------------------
+    def scratch(self, tag: Hashable, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A reusable buffer for the given ``(tag, shape, dtype)``.
+
+        The contents are undefined on entry; callers must fully overwrite the
+        buffer before reading it.  Two call sites that could be live at the
+        same time must use distinct tags.
+        """
+        dtype = np.dtype(dtype)
+        key = (tag, tuple(int(n) for n in shape), dtype.str)
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            buffer = np.empty(key[1], dtype=dtype)
+            self._scratch.put(key, buffer)
+        return buffer
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached phase, plan and scratch buffer."""
+        self._phases.clear()
+        self._scratch.clear()
+        self._plans.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Cache statistics (sizes and hit/miss counters)."""
+        return {
+            "phase_entries": len(self._phases),
+            "phase_hits": self._phases.hits,
+            "phase_misses": self._phases.misses,
+            "scratch_entries": len(self._scratch),
+            "scratch_hits": self._scratch.hits,
+            "scratch_misses": self._scratch.misses,
+            "plan_entries": len(self._plans),
+        }
+
+
+_DEFAULT_WORKSPACE = KernelWorkspace()
+
+
+def get_workspace() -> KernelWorkspace:
+    """The process-wide default workspace used when kernels get none."""
+    return _DEFAULT_WORKSPACE

@@ -5,11 +5,15 @@ import time
 import numpy as np
 import pytest
 
+from repro.grid import Grid3D
 from repro.perf import (
     FlopCounter,
+    KernelWorkspace,
+    LRUCache,
     Timer,
     TimerRegistry,
     fft_flops,
+    get_workspace,
     flops_rate,
     me_time_to_solution,
     nnqmd_time_to_solution,
@@ -87,6 +91,65 @@ class TestFlopCounter:
         assert stencil_flops(1000, 8, 9) > 0
         assert fft_flops(4096) > fft_flops(1024) > 0
         assert fft_flops(1) == 0
+
+
+class TestKernelWorkspace:
+    def test_lru_eviction_and_stats(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.hits == 3 and cache.misses == 1
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_scratch_buffers_are_reused_per_key(self):
+        ws = KernelWorkspace()
+        a = ws.scratch("x", (4, 4), np.float64)
+        b = ws.scratch("x", (4, 4), np.float64)
+        assert a is b
+        assert ws.scratch("x", (4, 4), np.complex128) is not a
+        assert ws.scratch("y", (4, 4), np.float64) is not a
+        assert ws.scratch("x", (4, 5), np.float64).shape == (4, 5)
+
+    def test_kinetic_phase_cached_and_read_only(self):
+        ws = KernelWorkspace()
+        grid = Grid3D((6, 6, 6), (6.0, 6.0, 6.0))
+        phase = ws.kinetic_phase(grid, 0.1)
+        assert ws.kinetic_phase(grid, 0.1) is phase
+        assert not phase.flags.writeable
+        assert phase[0, 0, 0] == pytest.approx(1.0)  # k = 0 mode
+        assert ws.kinetic_phase(grid, 0.2) is not phase
+        assert ws.kinetic_phase(grid, 0.1, np.array([0.5, 0.0, 0.0])) is not phase
+        stats = ws.stats
+        assert stats["phase_hits"] == 1 and stats["phase_misses"] == 3
+
+    def test_stencil_plan_cached_and_consistent(self):
+        ws = KernelWorkspace()
+        plan = ws.stencil_plan((0.5, 0.5, 1.0), 4)
+        assert ws.stencil_plan((0.5, 0.5, 1.0), 4) is plan
+        # 2 symmetric offsets per axis for the 4th-order stencil.
+        assert len(plan.terms) == 6
+        # Plan reproduces the analytic center coefficient sum.
+        assert plan.center == pytest.approx(-2.5 * (4.0 + 4.0 + 1.0))
+
+    def test_clear_resets_everything(self):
+        ws = KernelWorkspace()
+        grid = Grid3D((4, 4, 4), (4.0, 4.0, 4.0))
+        ws.kinetic_phase(grid, 0.1)
+        ws.scratch("x", (2, 2))
+        ws.stencil_plan((1.0, 1.0, 1.0), 2)
+        ws.clear()
+        stats = ws.stats
+        assert stats["phase_entries"] == 0
+        assert stats["scratch_entries"] == 0
+        assert stats["plan_entries"] == 0
+
+    def test_default_workspace_is_a_singleton(self):
+        assert get_workspace() is get_workspace()
 
 
 class TestMetrics:
