@@ -1,0 +1,135 @@
+"""Benchmark the scenario-layer overhead and shared-workspace batching.
+
+Three measurements:
+
+1. **Spec parsing** — ``ScenarioSpec.from_dict(spec.to_dict())`` throughput
+   (the declarative layer must be negligible next to any engine work).
+2. **Engine construction** — ``build_engine(...).prepare()`` wall time per
+   engine kind (the SCF/relaxation cost a serving layer would amortise).
+3. **Batch of 8** — eight identical TDDFT runs through the
+   :class:`repro.api.BatchRunner` with one shared
+   :class:`~repro.perf.workspace.KernelWorkspace` versus eight isolated
+   workspaces, reporting wall time and the phase-cache hit counters.
+
+Writes ``results/BENCH_scenario_startup.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import print_table, write_result
+
+from repro.api import BatchRunner, ScenarioSpec, build_engine, default_registry, run_scenario
+from repro.perf.workspace import KernelWorkspace
+
+#: Shrunk per-engine overrides so construction is measurable but quick.
+CONSTRUCTION_SCENARIOS = {
+    "quickstart-tddft": {"material.scf_max_iterations": 10},
+    "dcmesh-pulse": {"material.scf_max_iterations": 10},
+    "mesh-hopping": {"material.scf_max_iterations": 10},
+    "md-nve": {},
+    "localmode-switch": {"propagator.relax_steps": 20},
+    "maxwell-vacuum": {},
+    "mlmd-photoswitch": {"propagator.relax_steps": 20},
+}
+
+BATCH_SPEC_OVERRIDES = {
+    "runtime.num_steps": 40,
+    "runtime.record_every": 40,
+    "material.scf_max_iterations": 10,
+    "pulse.kind": "none",  # field-free keeps (grid, dt, A) cache-stable
+}
+
+
+def bench_spec_parse(repeats: int = 2000) -> dict:
+    data = default_registry().get("quickstart-tddft").to_dict()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        ScenarioSpec.from_dict(data)
+    elapsed = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "total_s": elapsed,
+        "per_spec_us": 1e6 * elapsed / repeats,
+    }
+
+
+def bench_construction() -> list:
+    rows = []
+    for name, overrides in CONSTRUCTION_SCENARIOS.items():
+        spec = default_registry().get(name).with_overrides(overrides)
+        start = time.perf_counter()
+        engine = build_engine(spec)
+        engine.prepare()
+        elapsed = time.perf_counter() - start
+        rows.append({"scenario": name, "engine": spec.engine,
+                     "construct_s": elapsed})
+    return rows
+
+
+def bench_batch(batch_size: int = 8) -> dict:
+    spec = default_registry().get("quickstart-tddft").with_overrides(
+        BATCH_SPEC_OVERRIDES
+    )
+    specs = [spec] * batch_size
+
+    start = time.perf_counter()
+    runner = BatchRunner()
+    runner.run(specs)
+    shared_s = time.perf_counter() - start
+    shared_stats = dict(runner.workspace.stats)
+
+    start = time.perf_counter()
+    isolated_hits = isolated_misses = 0
+    for one in specs:
+        workspace = KernelWorkspace()
+        run_scenario(one, workspace=workspace)
+        isolated_hits += workspace.stats["phase_hits"]
+        isolated_misses += workspace.stats["phase_misses"]
+    isolated_s = time.perf_counter() - start
+
+    return {
+        "batch_size": batch_size,
+        "shared_workspace_s": shared_s,
+        "isolated_workspace_s": isolated_s,
+        "speedup": isolated_s / shared_s if shared_s > 0 else float("nan"),
+        "shared_phase_hits": shared_stats["phase_hits"],
+        "shared_phase_misses": shared_stats["phase_misses"],
+        "isolated_phase_hits": isolated_hits,
+        "isolated_phase_misses": isolated_misses,
+    }
+
+
+def main() -> None:
+    parse = bench_spec_parse()
+    construction = bench_construction()
+    batch = bench_batch()
+
+    print_table(
+        "Scenario spec parsing",
+        ["repeats", "total_s", "per_spec_us"],
+        [parse],
+    )
+    print_table(
+        "Engine construction (prepare)",
+        ["scenario", "engine", "construct_s"],
+        construction,
+    )
+    print_table(
+        "Batch of 8 TDDFT runs: shared vs isolated KernelWorkspace",
+        ["batch_size", "shared_workspace_s", "isolated_workspace_s", "speedup",
+         "shared_phase_misses", "isolated_phase_misses"],
+        [batch],
+    )
+
+    path = write_result("BENCH_scenario_startup", {
+        "spec_parse": parse,
+        "engine_construction": construction,
+        "batch": batch,
+    })
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,76 +1,38 @@
-"""Light-induced switching of a PbTiO3 polar-skyrmion superlattice (paper Fig. 3).
+"""Light-induced switching of a polar-skyrmion superlattice (paper Fig. 3).
 
-The full multiscale workflow of the paper, at laptop scale:
-
-1. prepare a 2x2 skyrmion superlattice and relax it on the ground-state
-   effective Hamiltonian (GS-NNQMD stand-in),
-2. run a small DC-MESH simulation (two domains coupled to a 1-D Maxwell
-   window) to obtain the per-domain photo-excitation numbers produced by a
-   femtosecond pulse,
-3. feed that excitation into the excited-state dynamics of the texture and
-   track the topological charge — the pumped run switches, an unpumped control
-   run does not.
-
-Run with:  python examples/photoswitching_topotronics.py
+The full multiscale workflow as two registry scenarios: ``dcmesh-pulse``
+provides the per-domain photo-excitation numbers, ``mlmd-photoswitch``
+propagates the texture on the excitation-screened surface — the pumped run
+switches, the dark control does not.  CLI:  python -m repro run mlmd-photoswitch
 """
-
-from __future__ import annotations
 
 import numpy as np
 
-from repro.core import MLMDPipeline
-from repro.dc import DCMESHSimulation
-from repro.grid import Grid3D
-from repro.maxwell import GaussianPulse, Maxwell1D, MaxwellCoupler
-from repro.qd import LocalHamiltonian, OccupationState, RealTimeTDDFT
-from repro.qd.hamiltonian import gaussian_external_potential
-from repro.scf import KohnShamSolver
-from repro.units import SPEED_OF_LIGHT_AU
-
-
-def run_dcmesh_excitation() -> float:
-    """Small DC-MESH run: returns the mean excitation fraction per domain."""
-    qd_dt, n_exchange = 0.1, 5
-    maxwell_dt = qd_dt * n_exchange
-    dx = 1.05 * SPEED_OF_LIGHT_AU * maxwell_dt
-    solver = Maxwell1D(num_points=60, dx=dx, dt=maxwell_dt)
-    coupler = MaxwellCoupler(solver, [15.0 * dx, 35.0 * dx])
-
-    engines = []
-    for _ in range(2):
-        grid = Grid3D((6, 6, 6), (8.0, 8.0, 8.0))
-        v_ext = gaussian_external_potential(grid, [[4.0, 4.0, 4.0]], [3.0], [1.2])
-        hamiltonian = LocalHamiltonian(grid, v_ext)
-        scf = KohnShamSolver(hamiltonian, n_electrons=2, n_orbitals=3,
-                             max_iterations=20, tolerance=1e-4).run()
-        engines.append(RealTimeTDDFT(
-            hamiltonian, scf.wavefunctions.copy(),
-            OccupationState.ground_state(3, 2.0), dt=qd_dt,
-            update_potentials_every=5, occupation_decoherence_rate=2.0,
-        ))
-    pulse = GaussianPulse(e0=0.08, omega=0.4, t0=6 * maxwell_dt, sigma=3 * maxwell_dt)
-    simulation = DCMESHSimulation(engines, coupler, pulse, qd_steps_per_exchange=n_exchange)
-    result = simulation.run(num_exchanges=40)
-    n_exc = result.final_excitations
-    print(f"DC-MESH per-domain photo-excitation: {np.round(n_exc, 4)} electrons")
-    # 2 electrons per domain; an idealised strong pump saturates the weight.
-    return float(np.clip(n_exc.mean() / 2.0 * 20.0, 0.0, 0.8))
+from repro.api import default_registry, run_scenario
 
 
 def main() -> None:
+    registry = default_registry()
     print("=== stage 2: DC-MESH laser excitation (2 domains, 1-D Maxwell) ===")
-    excitation_fraction = run_dcmesh_excitation()
-    print(f"effective excitation fraction for the texture dynamics: {excitation_fraction:.2f}\n")
+    dcmesh = run_scenario(registry.get("dcmesh-pulse")
+                          .with_overrides({"runtime.num_steps": 60}))
+    n_exc = dcmesh.final("domain_excitations")
+    print(f"DC-MESH per-domain photo-excitation: {np.round(n_exc, 4)} electrons")
+    # 2 electrons per domain; an idealised strong pump saturates the weight.
+    fraction = float(np.clip(n_exc.mean() / 2.0 * 20.0, 0.0, 0.8))
+    print(f"effective excitation fraction for the texture dynamics: {fraction:.2f}\n")
 
     print("=== stages 1+3: skyrmion superlattice preparation and XS dynamics ===")
-    for label, fraction in (("pumped", max(excitation_fraction, 0.7)), ("dark", 0.0)):
-        pipeline = MLMDPipeline(supercell_repeats=(20, 20, 1), skyrmions_per_axis=(2, 2),
-                                rng=np.random.default_rng(0))
-        result = pipeline.run(excitation_fraction=fraction, num_steps=250)
-        q0, qf = result.topological_charge[0], result.topological_charge[-1]
-        switch = (f"{result.switching_time_fs:.0f} fs" if result.switched else "never")
-        print(f"  {label:6s}: Q {q0:+.1f} -> {qf:+.1f}   switching time: {switch}   "
-              f"final texture: {result.final_label}")
+    base = registry.get("mlmd-photoswitch").with_overrides(
+        {"material.repeats": [20, 20, 1], "runtime.num_steps": 250})
+    for label, weight in (("pumped", max(fraction, 0.7)), ("dark", 0.0)):
+        result = run_scenario(base.with_overrides(
+            {"propagator.excitation_fraction": weight}))
+        charge = result.observables["topological_charge"]
+        t_switch = result.metadata.get("switching_time_fs")
+        switch = f"{t_switch:.0f} fs" if t_switch is not None else "never"
+        print(f"  {label:6s}: Q {charge[0]:+.1f} -> {charge[-1]:+.1f}   "
+              f"switching time: {switch}   final texture: {result.metadata['final_label']}")
 
 
 if __name__ == "__main__":

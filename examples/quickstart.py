@@ -1,73 +1,35 @@
 """Quickstart: one divide-and-conquer domain hit by a laser pulse.
 
-This is the smallest end-to-end use of the DC-MESH half of the library:
-
-1. build a model material (two Gaussian-well "atoms" in a periodic cell),
-2. solve its Kohn-Sham ground state,
-3. drive it with a femtosecond laser pulse using real-time TDDFT,
-4. report the photo-excited electron count and the absorption spectrum.
-
-Run with:  python examples/quickstart.py
+The declarative scenario layer does all the wiring: ``quickstart-tddft``
+builds the two-Gaussian-well material, solves its Kohn-Sham ground state and
+drives it with real-time TDDFT under a near-resonant femtosecond pulse.  The
+same run from the command line:
+    python -m repro run quickstart-tddft --set runtime.num_steps=300
 """
-
-from __future__ import annotations
 
 import numpy as np
 
 from repro.analysis import absorption_spectrum
-from repro.grid import Grid3D
-from repro.maxwell import GaussianPulse
-from repro.qd import LocalHamiltonian, NonlocalCorrection, OccupationState, RealTimeTDDFT
-from repro.qd.hamiltonian import gaussian_external_potential
-from repro.scf import KohnShamSolver
+from repro.api import default_registry, run_scenario
 from repro.units import HARTREE_TO_EV, au_to_fs
 
 
 def main() -> None:
-    # 1. A small periodic cell with two attractive Gaussian wells ("atoms").
-    grid = Grid3D((10, 10, 10), (10.0, 10.0, 10.0))
-    centers = [[3.5, 5.0, 5.0], [6.5, 5.0, 5.0]]
-    v_ext = gaussian_external_potential(grid, centers, depths=[3.0, 3.0], widths=[1.2, 1.2])
-    hamiltonian = LocalHamiltonian(grid, v_ext)
-
-    # 2. Ground state: 4 electrons in 4 Kohn-Sham orbitals.
-    print("solving the Kohn-Sham ground state ...")
-    scf = KohnShamSolver(hamiltonian, n_electrons=4, n_orbitals=4,
-                         max_iterations=40, tolerance=1e-5).run()
-    print(f"  converged: {scf.converged} in {scf.iterations} iterations")
-    print(f"  total energy      : {scf.total_energy:.6f} Ha")
-    print(f"  HOMO-LUMO gap     : {scf.homo_lumo_gap * HARTREE_TO_EV:.3f} eV")
-
-    # 3. Real-time TDDFT under a femtosecond laser pulse (velocity gauge).
-    pulse = GaussianPulse(e0=0.03, omega=scf.homo_lumo_gap, t0=8.0, sigma=3.0)
-    occupations = OccupationState.ground_state(4, 4.0)
-    scissors = NonlocalCorrection(scf.wavefunctions.copy(), shift=0.05, dt=0.1, mode="bf16")
-    engine = RealTimeTDDFT(
-        hamiltonian,
-        scf.wavefunctions.copy(),
-        occupations,
-        dt=0.1,
-        scissors=scissors,
-        field_callback=lambda t: pulse.vector_potential(t).reshape(3),
-        update_potentials_every=2,
-        occupation_decoherence_rate=1.0,
-    )
-    print("propagating 300 QD steps under the laser pulse ...")
-    result = engine.run(300, record_every=2)
+    spec = default_registry().get("quickstart-tddft").with_overrides(
+        {"runtime.num_steps": 300})
+    print(f"running scenario {spec.name!r} (engine: {spec.engine}) ...")
+    result = run_scenario(spec)
+    print(f"  SCF converged     : {result.metadata['scf_converged']}")
+    print(f"  HOMO-LUMO gap     : {result.metadata['homo_lumo_gap'] * HARTREE_TO_EV:.3f} eV")
     print(f"  simulated time    : {au_to_fs(result.times[-1]):.2f} fs")
-    print(f"  photo-excited electrons: {result.excitation[-1]:.4f}")
-    print(f"  norm drift        : {np.max(np.abs(result.norms - 1.0)):.2e}")
-
-    # 4. Absorption spectrum from the induced dipole.
+    print(f"  photo-excited electrons: {result.final('excitation'):.4f}")
+    print(f"  norm drift        : {np.max(np.abs(result.observables['norms'] - 1.0)):.2e}")
     omega, spectrum = absorption_spectrum(
-        result.times, result.dipole[:, 2], kick_strength=pulse.e0, damping=0.02
-    )
+        result.times, result.observables["dipole"][:, 2],
+        kick_strength=spec.pulse.e0, damping=0.02)
     window = omega < 1.5
-    peak = omega[window][np.argmax(spectrum[window])]
-    print(f"  dominant absorption peak: {peak * HARTREE_TO_EV:.2f} eV")
-    print("kernel timing breakdown:")
-    for name, stats in engine.timers.report().items():
-        print(f"  {name:12s} {stats['elapsed']:.3f} s over {int(stats['calls'])} calls")
+    print(f"  dominant absorption peak: "
+          f"{omega[window][np.argmax(spectrum[window])] * HARTREE_TO_EV:.2f} eV")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,10 @@ divide-conquer-recombine / metamodel-space-algebra orchestration lives in
 :mod:`repro.core`; performance modelling and the virtual cluster used for the
 scaling studies live in :mod:`repro.perf` and :mod:`repro.parallel`.
 
+The declarative front door over all of those engines is :mod:`repro.api`:
+``ScenarioSpec`` configs, the unified ``Engine`` protocol, named scenarios and
+the ``python -m repro run <scenario> [--set key=value]`` command-line runner.
+
 Subpackages are imported lazily so light-weight users (for example, someone
 who only needs the topology analysis) do not pay for the whole stack.
 """
@@ -22,6 +26,7 @@ __version__ = "1.0.0"
 
 _SUBPACKAGES = (
     "analysis",
+    "api",
     "core",
     "dc",
     "grid",

@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro`` — delegates to :mod:`repro.api.cli`."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""repro.api: the declarative front door over every simulation subsystem.
+
+* :mod:`repro.api.spec`     — :class:`ScenarioSpec` and its nested sections
+  (grid, material, pulse, propagator, runtime, seed); JSON round-trippable.
+* :mod:`repro.api.engine`   — the unified :class:`Engine` protocol
+  (``prepare / step / observe / checkpoint / result``) and the adapter base.
+* :mod:`repro.api.adapters` — adapters retrofitting the protocol onto the
+  TDDFT, DC-MESH, MESH, MD, local-mode, Maxwell and MLMD engines.
+* :mod:`repro.api.result`   — the unified :class:`RunResult` container.
+* :mod:`repro.api.registry` — named scenarios, :func:`run_scenario` and the
+  shared-workspace :class:`BatchRunner`.
+* :mod:`repro.api.cli`      — the ``python -m repro`` command-line runner.
+"""
+
+from repro.api.adapters import ADAPTERS, build_engine
+from repro.api.engine import Engine, EngineAdapter
+from repro.api.registry import (
+    BatchRunner, ScenarioRegistry, default_registry, run_scenario,
+)
+from repro.api.result import RunResult
+from repro.api.spec import (
+    ENGINE_KINDS, GridSpec, MaterialSpec, PropagatorSpec, PulseSpec,
+    RuntimeSpec, ScenarioSpec, parse_assignments,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "BatchRunner",
+    "ENGINE_KINDS",
+    "Engine",
+    "EngineAdapter",
+    "GridSpec",
+    "MaterialSpec",
+    "PropagatorSpec",
+    "PulseSpec",
+    "RunResult",
+    "RuntimeSpec",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "build_engine",
+    "default_registry",
+    "parse_assignments",
+    "run_scenario",
+]

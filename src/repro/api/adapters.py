@@ -1,0 +1,587 @@
+"""Engine adapters: one :class:`~repro.api.engine.EngineAdapter` per subsystem.
+
+Each adapter knows how to *construct* its simulation engine from a
+:class:`~repro.api.spec.ScenarioSpec` and how to *drive* it through the
+unified ``prepare / step / observe / checkpoint / result`` protocol.  The
+wrapped engines keep their imperative ``run()`` APIs untouched; the adapters
+only call public entry points (plus the spec-driven constructors).
+
+Seeding convention: every adapter draws its RNGs from ``spec.rngs(4)``
+(:func:`repro.utils.rng.spawn_rngs` under the hood) with fixed stream roles —
+
+    stream 0   initial-condition noise (thermal velocities, texture noise)
+    stream 1   dynamical noise (thermostats, Langevin kicks, mode noise)
+    stream 2   stochastic algorithms (surface hopping)
+    stream 3   reserved
+
+so two runs of the same spec are bit-identical and adding a consumer never
+perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+import numpy as np
+
+from repro.api.engine import EngineAdapter
+from repro.api.spec import ENGINE_KINDS, ScenarioSpec
+from repro.perf.workspace import KernelWorkspace
+
+
+def _ground_state(spec: ScenarioSpec, grid, v_ext):
+    """Shared SCF preparation for the quantum-dynamics adapters."""
+    from repro.qd import LocalHamiltonian
+    from repro.scf import KohnShamSolver
+
+    material = spec.material
+    hamiltonian = LocalHamiltonian(grid, v_ext)
+    scf = KohnShamSolver(
+        hamiltonian,
+        n_electrons=material.n_electrons,
+        n_orbitals=material.n_orbitals,
+        max_iterations=material.scf_max_iterations,
+        tolerance=material.scf_tolerance,
+    ).run()
+    return hamiltonian, scf
+
+
+def _field_callback(pulse):
+    if pulse is None:
+        return None
+    return lambda t: pulse.vector_potential(t).reshape(3)
+
+
+class TDDFTEngine(EngineAdapter):
+    """Real-time TDDFT on one DC domain (:class:`repro.qd.tddft.RealTimeTDDFT`)."""
+
+    kind = "tddft"
+
+    def _build(self) -> None:
+        from repro.qd import NonlocalCorrection, OccupationState, RealTimeTDDFT
+        from repro.qd.hamiltonian import gaussian_external_potential
+
+        spec = self.spec
+        material = spec.material
+        prop = spec.propagator
+        grid = spec.grid.build()
+        v_ext = gaussian_external_potential(
+            grid, material.centers, material.depths, material.widths
+        )
+        hamiltonian, scf = _ground_state(spec, grid, v_ext)
+        scissors = None
+        if prop.scissors_shift > 0.0:
+            scissors = NonlocalCorrection(
+                scf.wavefunctions.copy(), shift=prop.scissors_shift, dt=prop.dt
+            )
+        self.engine = RealTimeTDDFT(
+            hamiltonian,
+            scf.wavefunctions.copy(),
+            OccupationState.ground_state(material.n_orbitals, material.n_electrons),
+            dt=prop.dt,
+            scissors=scissors,
+            field_callback=_field_callback(spec.pulse.build()),
+            update_potentials_every=prop.update_potentials_every,
+            occupation_decoherence_rate=prop.occupation_decoherence_rate,
+            timers=self.timers,
+            workspace=self.workspace,
+        )
+        self._metadata["scf_converged"] = bool(scf.converged)
+        self._metadata["scf_iterations"] = int(scf.iterations)
+        self._metadata["homo_lumo_gap"] = float(scf.homo_lumo_gap)
+
+    def _advance(self, num_steps: int) -> None:
+        self.engine.step(num_steps)
+
+    @property
+    def time(self) -> float:
+        return self.engine.time
+
+    def observe(self) -> Dict[str, Any]:
+        self.prepare()
+        engine = self.engine
+        weights = engine.occupations.electrons_per_orbital()
+        density = engine.wavefunctions.density(weights)
+        a_vec = engine.vector_potential()
+        return {
+            "dipole": engine.hamiltonian.dipole_moment(density),
+            "current": engine.hamiltonian.current_density_average(
+                engine.wavefunctions.psi, weights, a_vec
+            ),
+            "total_energy": engine.hamiltonian.total_energy(
+                engine.wavefunctions.psi, weights, a_vec
+            ),
+            "excitation": engine.occupations.excitation_number(),
+            "norms": engine.wavefunctions.norms(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "occupations": self.engine.occupations.occupations,
+            "norms": self.engine.wavefunctions.norms(),
+        }
+
+
+class DCMESHEngine(EngineAdapter):
+    """Multi-domain Maxwell+TDDFT (:class:`repro.dc.dcmesh.DCMESHSimulation`).
+
+    One protocol step is one Maxwell<->TDDFT exchange cycle
+    (``qd_steps_per_exchange`` electronic steps per domain plus one Maxwell
+    step).
+    """
+
+    kind = "dcmesh"
+
+    def _build(self) -> None:
+        from repro.dc import DCMESHSimulation
+        from repro.maxwell import Maxwell1D, MaxwellCoupler
+        from repro.qd import OccupationState, RealTimeTDDFT
+        from repro.qd.hamiltonian import gaussian_external_potential
+        from repro.units import SPEED_OF_LIGHT_AU
+
+        spec = self.spec
+        prop = spec.propagator
+        material = spec.material
+        pulse = spec.pulse.build()
+        if pulse is None:
+            raise ValueError("the dcmesh engine requires pulse.kind != 'none'")
+        maxwell_dt = prop.dt * prop.qd_steps_per_exchange
+        dx = SPEED_OF_LIGHT_AU * maxwell_dt / prop.maxwell_courant
+        solver = Maxwell1D(num_points=prop.maxwell_points, dx=dx, dt=maxwell_dt)
+        window = (prop.maxwell_points - 1) * dx
+        positions = [
+            (i + 1) * window / (prop.num_domains + 1)
+            for i in range(prop.num_domains)
+        ]
+        coupler = MaxwellCoupler(solver, positions)
+
+        # All domains share the same model material: solve the ground state
+        # once and give every domain its own copy of the orbitals/potentials.
+        grid = spec.grid.build()
+        v_ext = gaussian_external_potential(
+            grid, material.centers, material.depths, material.widths
+        )
+        _, scf = _ground_state(spec, grid, v_ext)
+        from repro.qd import LocalHamiltonian
+
+        engines = []
+        for _ in range(prop.num_domains):
+            engines.append(
+                RealTimeTDDFT(
+                    LocalHamiltonian(grid, v_ext),
+                    scf.wavefunctions.copy(),
+                    OccupationState.ground_state(
+                        material.n_orbitals, material.n_electrons
+                    ),
+                    dt=prop.dt,
+                    update_potentials_every=prop.update_potentials_every,
+                    occupation_decoherence_rate=prop.occupation_decoherence_rate,
+                    workspace=self.workspace,
+                )
+            )
+        self.simulation = DCMESHSimulation(
+            engines, coupler, pulse,
+            qd_steps_per_exchange=prop.qd_steps_per_exchange,
+            timers=self.timers,
+        )
+        self._metadata["scf_converged"] = bool(scf.converged)
+        self._metadata["num_domains"] = prop.num_domains
+        self._metadata["maxwell_dt"] = float(maxwell_dt)
+
+    def _advance(self, num_steps: int) -> None:
+        for _ in range(num_steps):
+            self.simulation.step_exchange()
+
+    @property
+    def time(self) -> float:
+        return self.simulation.coupler.solver.time
+
+    def observe(self) -> Dict[str, Any]:
+        self.prepare()
+        sim = self.simulation
+        return {
+            "vector_potential": sim.sampled_vector_potential,
+            "domain_currents": sim.domain_currents(),
+            "domain_excitations": sim.gather_excitations(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "vector_potential": self.simulation.sampled_vector_potential,
+            "domain_excitations": self.simulation.gather_excitations(),
+        }
+
+
+class MESHEngine(EngineAdapter):
+    """Single-domain Maxwell-Ehrenfest-surface-hopping MD
+    (:class:`repro.naqmd.mesh.MESHIntegrator`); one protocol step is one MD
+    step of ``qd_substeps`` electronic sub-steps."""
+
+    kind = "mesh"
+
+    def _build(self) -> None:
+        from repro.naqmd.ehrenfest import EhrenfestForces
+        from repro.naqmd.surface_hopping import SurfaceHopping
+        from repro.naqmd.mesh import MESHIntegrator
+        from repro.qd import OccupationState, RealTimeTDDFT
+
+        spec = self.spec
+        material = spec.material
+        prop = spec.propagator
+        _, _, rng_hop, _ = spec.rngs(4)
+        grid = spec.grid.build()
+        forces = EhrenfestForces(
+            grid,
+            depths=material.depths,
+            widths=material.widths,
+            charges=material.ion_charges,
+        )
+        positions = np.asarray(material.centers, dtype=float)
+        v_ext = forces.external_potential(positions)
+        hamiltonian, scf = _ground_state(spec, grid, v_ext)
+        tddft = RealTimeTDDFT(
+            hamiltonian,
+            scf.wavefunctions.copy(),
+            OccupationState.ground_state(material.n_orbitals, material.n_electrons),
+            dt=prop.dt,
+            field_callback=_field_callback(spec.pulse.build()),
+            update_potentials_every=prop.update_potentials_every,
+            occupation_decoherence_rate=prop.occupation_decoherence_rate,
+            timers=self.timers,
+            workspace=self.workspace,
+        )
+        hopping = None
+        if prop.surface_hopping:
+            active = max(int(np.ceil(material.n_electrons / 2.0)) - 1, 0)
+            hopping = SurfaceHopping(
+                energies=scf.eigenvalues, active_state=active, rng=rng_hop
+            )
+        self.integrator = MESHIntegrator(
+            tddft=tddft,
+            forces=forces,
+            positions=positions,
+            velocities=np.zeros_like(positions),
+            masses=np.asarray(material.ion_masses, dtype=float),
+            md_dt=prop.dt * prop.qd_substeps,
+            qd_substeps=prop.qd_substeps,
+            surface_hopping=hopping,
+        )
+        self._metadata["scf_converged"] = bool(scf.converged)
+        self._metadata["surface_hopping"] = bool(prop.surface_hopping)
+
+    def _advance(self, num_steps: int) -> None:
+        for _ in range(num_steps):
+            self.integrator.step()
+        # The adapter records its own series; don't let the integrator-side
+        # per-step history grow unboundedly.
+        del self.integrator.history[:-1]
+
+    @property
+    def time(self) -> float:
+        return self.integrator.time
+
+    def observe(self) -> Dict[str, Any]:
+        self.prepare()
+        integrator = self.integrator
+        return {
+            "positions": integrator.positions,
+            "kinetic_energy": integrator.kinetic_energy(),
+            "total_energy": integrator.total_energy(),
+            "excitation": integrator.tddft.occupations.excitation_number(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "positions": self.integrator.positions,
+            "velocities": self.integrator.velocities,
+        }
+
+
+class MDEngine(EngineAdapter):
+    """Classical MD on an FCC crystal (:class:`repro.md.integrators`).
+
+    ``propagator.thermostat`` selects velocity Verlet (``'none'``) or the
+    Langevin integrator (``'langevin'``); time is in femtoseconds.
+    """
+
+    kind = "md"
+
+    def _build(self) -> None:
+        from repro.md.atoms import AtomsSystem
+        from repro.md.forcefields import LennardJones
+        from repro.md.integrators import LangevinIntegrator, VelocityVerlet
+
+        spec = self.spec
+        material = spec.material
+        prop = spec.propagator
+        rng_init, rng_dyn, _, _ = spec.rngs(4)
+        a = material.lattice_constant
+        base = np.array(
+            [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+        ) * a
+        unit = AtomsSystem(
+            base, np.array([material.species] * 4, dtype=object), np.array([a] * 3)
+        )
+        self.atoms = unit.replicate(material.repeats)
+        if prop.temperature_k > 0:
+            self.atoms.set_temperature(prop.temperature_k, rng_init)
+        force_field = LennardJones()
+        if prop.thermostat == "langevin":
+            self.integrator = LangevinIntegrator(
+                force_field, prop.dt,
+                temperature_k=prop.temperature_k,
+                friction=prop.friction,
+                rng=rng_dyn,
+            )
+        else:
+            self.integrator = VelocityVerlet(force_field, prop.dt)
+        self._force_field = force_field
+        self._metadata["n_atoms"] = int(self.atoms.n_atoms)
+        self._metadata["thermostat"] = prop.thermostat
+
+    def _advance(self, num_steps: int) -> None:
+        with self.timers.measure("md_step"):
+            self.integrator.step(self.atoms, num_steps)
+        # The adapter keeps its own time series; cap the integrator-side
+        # history at the latest snapshot (observe() reads it below).
+        del self.integrator.history[:-1]
+
+    @property
+    def time(self) -> float:
+        return self.integrator.time
+
+    def observe(self) -> Dict[str, Any]:
+        self.prepare()
+        history = self.integrator.history
+        if history and history[-1].time == self.integrator.time:
+            snapshot = history[-1]
+            energy, kinetic = snapshot.potential_energy, snapshot.kinetic_energy
+        else:  # before the first step: no snapshot for the current state
+            raw, _ = self._force_field.compute(
+                self.atoms, self.integrator.neighbor_list
+            )
+            energy, kinetic = float(raw), self.atoms.kinetic_energy()
+        return {
+            "potential_energy": energy,
+            "kinetic_energy": kinetic,
+            "total_energy": energy + kinetic,
+            "temperature": self.atoms.temperature(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "positions": self.atoms.positions,
+            "velocities": self.atoms.velocities,
+        }
+
+
+class LocalModeEngine(EngineAdapter):
+    """Ferroelectric local-mode lattice dynamics
+    (:class:`repro.md.localmode.LocalModeLattice`) on a skyrmion texture;
+    ``propagator.excitation_fraction`` applies a constant excitation
+    screening (the idealised-pump shortcut)."""
+
+    kind = "localmode"
+
+    def _build(self) -> None:
+        from repro.md.lattice import skyrmion_displacement_field
+        from repro.md.localmode import LocalModeLattice, LocalModeModel
+
+        spec = self.spec
+        material = spec.material
+        prop = spec.propagator
+        rng_init, rng_dyn, _, _ = spec.rngs(4)
+        self._rng = rng_dyn
+        model = LocalModeModel()
+        texture = skyrmion_displacement_field(
+            material.repeats, material.skyrmions_per_axis
+        ) * model.well_minimum(0.0)
+        texture = texture + 0.01 * rng_init.standard_normal(texture.shape)
+        self.lattice = LocalModeLattice(texture, model)
+        if prop.relax_steps > 0:
+            with self.timers.measure("relax"):
+                self.lattice.relax(num_steps=prop.relax_steps, dt=0.5 * prop.dt)
+        self._time_fs = 0.0
+
+    def _advance(self, num_steps: int) -> None:
+        prop = self.spec.propagator
+        with self.timers.measure("localmode_step"):
+            for _ in range(num_steps):
+                self.lattice.step(
+                    prop.dt,
+                    excitation_weight=prop.excitation_fraction,
+                    damping=prop.damping,
+                    noise_amplitude=prop.noise_amplitude,
+                    rng=self._rng,
+                )
+                self._time_fs += prop.dt
+
+    @property
+    def time(self) -> float:
+        return self._time_fs
+
+    def observe(self) -> Dict[str, Any]:
+        from repro.topology.charge import topological_charge
+        from repro.topology.polarization import in_plane_slice
+
+        self.prepare()
+        mid = self.lattice.shape[2] // 2
+        return {
+            "energy": self.lattice.energy(self.spec.propagator.excitation_fraction),
+            "topological_charge": topological_charge(
+                in_plane_slice(self.lattice.modes, mid)
+            ),
+            "mean_polarization": self.lattice.mean_polarization(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {"modes": self.lattice.modes, "velocities": self.lattice.velocities}
+
+
+class MaxwellEngine(EngineAdapter):
+    """The 1-D macroscopic Maxwell solver (:class:`repro.maxwell.fdtd1d.Maxwell1D`)
+    driven by the configured pulse (or vacuum when ``pulse.kind == 'none'``)."""
+
+    kind = "maxwell"
+
+    def _build(self) -> None:
+        from repro.maxwell import Maxwell1D
+        from repro.units import SPEED_OF_LIGHT_AU
+
+        prop = self.spec.propagator
+        dx = SPEED_OF_LIGHT_AU * prop.dt / prop.maxwell_courant
+        self.solver = Maxwell1D(num_points=prop.maxwell_points, dx=dx, dt=prop.dt)
+        pulse = self.spec.pulse.build()
+        self._source = self.solver.inject_pulse(pulse) if pulse is not None else None
+
+    def _advance(self, num_steps: int) -> None:
+        with self.timers.measure("maxwell_step"):
+            for _ in range(num_steps):
+                self.solver.step(None, boundary_source=self._source)
+
+    @property
+    def time(self) -> float:
+        return self.solver.time
+
+    def observe(self) -> Dict[str, Any]:
+        self.prepare()
+        return {
+            "field_energy": self.solver.field_energy(),
+            "vector_potential": self.solver.vector_potential(),
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {"a_curr": self.solver.a_curr, "a_prev": self.solver.a_prev}
+
+
+class MLMDEngine(EngineAdapter):
+    """The end-to-end photo-switching pipeline (:class:`repro.core.mlmd.MLMDPipeline`).
+
+    ``prepare()`` relaxes the skyrmion superlattice on the ground-state
+    surface; each protocol step advances the excited-state local-mode
+    dynamics with the exponentially decaying excitation weight of the
+    pipeline's stage 3.  Time is in femtoseconds.
+    """
+
+    kind = "mlmd"
+
+    def _build(self) -> None:
+        from repro.core import MLMDPipeline
+        from repro.topology.analysis import classify_texture
+
+        spec = self.spec
+        prop = spec.propagator
+        rng_init, rng_dyn, _, _ = spec.rngs(4)
+        self._rng = rng_dyn
+        # Stream 0 covers the ground-state preparation (texture noise);
+        # stream 1 drives the excited-state dynamics noise in _advance.
+        self.pipeline = MLMDPipeline(
+            supercell_repeats=spec.material.repeats,
+            skyrmions_per_axis=spec.material.skyrmions_per_axis,
+            excitation_lifetime_fs=prop.excitation_lifetime_fs,
+            md_timestep_fs=prop.dt,
+            damping_per_fs=prop.damping,
+            thermal_noise_amplitude=prop.noise_amplitude,
+            rng=rng_init,
+        )
+        with self.timers.measure("prepare_ground_state"):
+            self.lattice = self.pipeline.prepare_ground_state(
+                relax_steps=prop.relax_steps
+            )
+        self._time_fs = 0.0
+        self._weight = prop.excitation_fraction
+        self._metadata["initial_label"] = classify_texture(self.lattice.modes).label
+        self._metadata["initial_topological_charge"] = float(
+            self.pipeline.initial_topological_charge
+        )
+
+    def _advance(self, num_steps: int) -> None:
+        prop = self.spec.propagator
+        with self.timers.measure("xs_dynamics"):
+            for _ in range(num_steps):
+                self.lattice.step(
+                    prop.dt,
+                    excitation_weight=self._weight,
+                    damping=prop.damping,
+                    noise_amplitude=prop.noise_amplitude,
+                    rng=self._rng,
+                )
+                self._time_fs += prop.dt
+                self._weight = prop.excitation_fraction * float(
+                    np.exp(-self._time_fs / prop.excitation_lifetime_fs)
+                )
+
+    @property
+    def time(self) -> float:
+        return self._time_fs
+
+    def observe(self) -> Dict[str, Any]:
+        from repro.topology.charge import topological_charge
+        from repro.topology.polarization import in_plane_slice
+
+        self.prepare()
+        mid = self.lattice.shape[2] // 2
+        return {
+            "topological_charge": topological_charge(
+                in_plane_slice(self.lattice.modes, mid)
+            ),
+            "mean_polarization": self.lattice.mean_polarization(),
+            "excitation_fraction": self._weight,
+        }
+
+    def result(self):
+        from repro.topology.analysis import classify_texture, switching_time
+
+        run_result = super().result()
+        run_result.metadata["final_label"] = classify_texture(self.lattice.modes).label
+        charges = run_result.observables.get("topological_charge")
+        if charges is not None and run_result.times.size:
+            t_switch = switching_time(run_result.times, charges)
+            run_result.metadata["switching_time_fs"] = (
+                float(t_switch) if np.isfinite(t_switch) else None
+            )
+        return run_result
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "modes": self.lattice.modes,
+            "excitation_weight": self._weight,
+        }
+
+
+#: Engine kind -> adapter class.
+ADAPTERS: Dict[str, Type[EngineAdapter]] = {
+    cls.kind: cls
+    for cls in (
+        TDDFTEngine, DCMESHEngine, MESHEngine, MDEngine,
+        LocalModeEngine, MaxwellEngine, MLMDEngine,
+    )
+}
+
+assert set(ADAPTERS) == set(ENGINE_KINDS)
+
+
+def build_engine(spec: ScenarioSpec,
+                 workspace: Optional[KernelWorkspace] = None) -> EngineAdapter:
+    """Instantiate (but do not prepare) the adapter for ``spec.engine``."""
+    return ADAPTERS[spec.engine](spec, workspace=workspace)

@@ -1,0 +1,131 @@
+"""Command-line front door: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands
+-----------
+``list``
+    Print the registered scenarios (name, engine, description).
+``show <scenario>``
+    Print a scenario's full spec as JSON (after any ``--set`` overrides).
+``run <scenario> [--set key=value ...] [--json PATH] [--steps N]``
+    Build the engine, run it, print a final-value summary and optionally
+    write the full :class:`~repro.api.result.RunResult` as JSON.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run quickstart-tddft --set runtime.num_steps=5 --json out.json
+    python -m repro run mlmd-photoswitch --set propagator.excitation_fraction=0.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api.registry import default_registry, run_scenario
+from repro.api.spec import ScenarioSpec, parse_assignments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the MLMD reproduction's simulation scenarios "
+                    "from declarative specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered scenarios")
+
+    show = sub.add_parser("show", help="print one scenario spec as JSON")
+    show.add_argument("scenario", help="registered scenario name")
+    show.add_argument("--set", dest="overrides", action="append", default=[],
+                      metavar="KEY=VALUE", help="dotted-path spec override")
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="dotted-path spec override, e.g. runtime.num_steps=5")
+    run.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                     help="write the full RunResult JSON to PATH ('-' = stdout)")
+    run.add_argument("--steps", type=int, default=None,
+                     help="shorthand for --set runtime.num_steps=N")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the human-readable summary")
+    return parser
+
+
+def _resolve_spec(name: str, overrides: List[str]) -> ScenarioSpec:
+    spec = default_registry().get(name)
+    assignments = parse_assignments(overrides)
+    if assignments:
+        spec = spec.with_overrides(assignments)
+    return spec
+
+
+def _cmd_list() -> int:
+    registry = default_registry()
+    rows = [(spec.name, spec.engine, spec.description) for spec in registry]
+    width_name = max(len(r[0]) for r in rows)
+    width_engine = max(len(r[1]) for r in rows)
+    print(f"{len(rows)} registered scenarios:")
+    for name, engine, description in rows:
+        print(f"  {name:<{width_name}}  {engine:<{width_engine}}  {description}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.scenario, args.overrides)
+    print(spec.to_json())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides = list(args.overrides)
+    if args.steps is not None:
+        overrides.append(f"runtime.num_steps={args.steps}")
+    spec = _resolve_spec(args.scenario, overrides)
+    result = run_scenario(spec)
+    if not args.quiet:
+        print(f"scenario : {result.scenario}  (engine: {result.engine})")
+        print(f"records  : {result.num_records} samples to t = {result.times[-1]:.4g}")
+        for key, value in result.summary().items():
+            if key in ("scenario", "engine", "final_time"):
+                continue
+            print(f"  {key:<24} {value:.6g}")
+        for name, stats in result.timers.items():
+            print(f"  [timer] {name:<15} {stats['elapsed']:.3f} s "
+                  f"over {int(stats['calls'])} calls")
+    if args.json_path:
+        text = result.to_json()
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            if not args.quiet:
+                print(f"wrote {args.json_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "show":
+            return _cmd_show(args)
+        return _cmd_run(args)
+    except (KeyError, ValueError) as exc:
+        # str(KeyError) is the repr of its message; unwrap for clean output.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

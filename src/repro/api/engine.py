@@ -1,0 +1,174 @@
+"""The unified Engine protocol and the adapter base class.
+
+Every simulation subsystem — real-time TDDFT, DC-MESH, the single-domain MESH
+integrator, classical MD, the local-mode lattice, the 1-D Maxwell solver and
+the end-to-end MLMD pipeline — is exposed through the same five-method
+life cycle:
+
+    prepare()     build the underlying engine from the ScenarioSpec
+    step(n)       advance by n native steps
+    observe()     current observables as a {name: scalar/array} dict
+    checkpoint()  JSON-able snapshot of the mutable state
+    result()      everything recorded so far as a RunResult
+
+Adapters (:mod:`repro.api.adapters`) retrofit the protocol onto the existing
+engines without touching their imperative ``run()`` APIs; the shared
+:meth:`EngineAdapter.run` loop gives every engine identical argument
+validation (:func:`repro.utils.validation.validate_run_args`) and identical
+recording semantics (record the initial state, then every ``record_every``-th
+step).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.result import RunResult, _plain
+from repro.api.spec import ScenarioSpec
+from repro.perf.timers import TimerRegistry
+from repro.perf.workspace import KernelWorkspace, get_workspace
+from repro.utils.validation import validate_run_args
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural protocol every scenario engine satisfies."""
+
+    spec: ScenarioSpec
+
+    def prepare(self) -> None: ...
+
+    def step(self, num_steps: int = 1) -> None: ...
+
+    def observe(self) -> Dict[str, Any]: ...
+
+    def checkpoint(self) -> Dict[str, Any]: ...
+
+    def result(self) -> RunResult: ...
+
+
+class EngineAdapter(abc.ABC):
+    """Base class implementing the protocol's shared driving loop.
+
+    Subclasses implement :meth:`_build` (construct the wrapped engine),
+    :meth:`_advance` (advance it by N native steps), :meth:`observe` and the
+    :attr:`time` property; everything else — lazy preparation, argument
+    validation, recording, result assembly, checkpointing — lives here.
+    """
+
+    #: Engine kind string; matches ScenarioSpec.engine.
+    kind: str = "abstract"
+
+    def __init__(self, spec: ScenarioSpec,
+                 workspace: Optional[KernelWorkspace] = None) -> None:
+        if spec.engine != self.kind:
+            raise ValueError(
+                f"spec engine {spec.engine!r} does not match adapter kind {self.kind!r}"
+            )
+        self.spec = spec.copy()
+        self.workspace = workspace if workspace is not None else get_workspace()
+        self.timers = TimerRegistry()
+        self._prepared = False
+        self._times: List[float] = []
+        self._records: Dict[str, List[Any]] = {}
+        self._metadata: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct the wrapped engine(s) from ``self.spec``."""
+
+    @abc.abstractmethod
+    def _advance(self, num_steps: int) -> None:
+        """Advance the wrapped engine by ``num_steps`` native steps."""
+
+    @abc.abstractmethod
+    def observe(self) -> Dict[str, Any]:
+        """Current observables; values must be floats or float arrays."""
+
+    @property
+    @abc.abstractmethod
+    def time(self) -> float:
+        """Current simulation time in the engine's native unit."""
+
+    def _state(self) -> Dict[str, Any]:
+        """Mutable state snapshot for :meth:`checkpoint` (overridable)."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Protocol implementation
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Build the wrapped engine once; later calls are no-ops."""
+        if not self._prepared:
+            with self.timers.measure("prepare"):
+                self._build()
+            self._prepared = True
+
+    def step(self, num_steps: int = 1) -> None:
+        validate_run_args(num_steps)
+        self.prepare()
+        self._advance(num_steps)
+
+    def checkpoint(self) -> Dict[str, Any]:
+        self.prepare()
+        return {
+            "scenario": self.spec.name,
+            "engine": self.kind,
+            "time": float(self.time),
+            "state": _plain(self._state()),
+        }
+
+    def record(self) -> None:
+        """Append the current observables to the recorded time series."""
+        self.prepare()
+        observation = self.observe()
+        self._times.append(float(self.time))
+        for name, value in observation.items():
+            self._records.setdefault(name, []).append(np.asarray(value, dtype=float))
+
+    def run(self, num_steps: Optional[int] = None,
+            record_every: Optional[int] = None) -> RunResult:
+        """Drive the engine through the standard record/step loop.
+
+        Each call starts a fresh recording session (previously recorded
+        samples and timer accumulations are dropped), so the returned
+        :class:`RunResult` always describes exactly this run even when the
+        engine was stepped or run before.  The one-time ``prepare`` timer is
+        only part of the first run's report (preparation is lazy).
+        """
+        if num_steps is None:
+            num_steps = self.spec.runtime.num_steps
+        if record_every is None:
+            record_every = self.spec.runtime.record_every
+        validate_run_args(num_steps, record_every)
+        self.timers.reset()
+        self.prepare()
+        self._times = []
+        self._records = {}
+        self.record()
+        for n in range(num_steps):
+            self._advance(1)
+            if (n + 1) % record_every == 0:
+                self.record()
+        return self.result()
+
+    def result(self) -> RunResult:
+        observables = {
+            name: np.asarray(series) for name, series in self._records.items()
+        }
+        metadata: Dict[str, Any] = {"spec": self.spec.to_dict()}
+        metadata.update(_plain(self._metadata))
+        return RunResult(
+            scenario=self.spec.name,
+            engine=self.kind,
+            times=np.asarray(self._times, dtype=float),
+            observables=observables,
+            metadata=metadata,
+            timers=self.timers.report(),
+        )

@@ -1,0 +1,136 @@
+"""The unified run result: times, observables, metadata and kernel timers.
+
+Every engine adapter returns the same :class:`RunResult` container regardless
+of which simulation subsystem produced it, so downstream consumers (the CLI,
+batch runners, benchmark harnesses, future serving layers) handle one schema.
+Results round-trip losslessly through plain dicts / JSON: observable arrays
+are stored as nested lists and reconstructed as float ndarrays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to JSON-native data."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, list):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return value
+
+
+@dataclass
+class RunResult:
+    """Observable time series and provenance of one scenario run.
+
+    Attributes
+    ----------
+    scenario, engine:
+        Name of the scenario and the engine kind that produced the run.
+    times:
+        ``(n_records,)`` sample times in the engine's native time unit.
+    observables:
+        Mapping of observable name to an array whose leading axis matches
+        ``times`` (scalars give ``(n_records,)``, vectors ``(n_records, d)``,
+        and so on).
+    metadata:
+        JSON-able provenance: the full scenario spec dict, engine-specific
+        summary values (SCF convergence, switching times, ...) and anything a
+        batch runner attaches (workspace cache statistics).
+    timers:
+        ``TimerRegistry.report()``-style kernel timing breakdown.
+    """
+
+    scenario: str
+    engine: str
+    times: np.ndarray
+    observables: Dict[str, np.ndarray]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    timers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        if self.times.ndim != 1:
+            raise ValueError("times must be a 1-D array")
+        observables = {}
+        for name, series in self.observables.items():
+            arr = np.asarray(series, dtype=float)
+            if arr.shape[:1] != self.times.shape:
+                raise ValueError(
+                    f"observable {name!r} has leading shape {arr.shape[:1]}, "
+                    f"expected {self.times.shape} to match times"
+                )
+            observables[str(name)] = arr
+        self.observables = observables
+
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return int(self.times.size)
+
+    def final(self, name: str) -> np.ndarray | float:
+        """The last recorded value of one observable (scalar when 0-d)."""
+        value = self.observables[name][-1]
+        return float(value) if np.ndim(value) == 0 else value
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact final-value view used by the CLI report."""
+        out: Dict[str, Any] = {"scenario": self.scenario, "engine": self.engine}
+        if self.num_records:
+            out["final_time"] = float(self.times[-1])
+        for name, series in self.observables.items():
+            last = series[-1]
+            if last.ndim == 0:
+                out[name] = float(last)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "times": self.times.tolist(),
+            "observables": {k: v.tolist() for k, v in self.observables.items()},
+            "metadata": _plain(self.metadata),
+            "timers": _plain(self.timers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        known = {"scenario", "engine", "times", "observables", "metadata", "timers"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunResult keys: {unknown}")
+        for required in ("scenario", "engine", "times", "observables"):
+            if required not in data:
+                raise ValueError(f"RunResult dict is missing {required!r}")
+        return cls(
+            scenario=str(data["scenario"]),
+            engine=str(data["engine"]),
+            times=np.asarray(data["times"], dtype=float),
+            observables={
+                str(k): np.asarray(v, dtype=float)
+                for k, v in dict(data["observables"]).items()
+            },
+            metadata=dict(data.get("metadata", {})),
+            timers={k: dict(v) for k, v in dict(data.get("timers", {})).items()},
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))

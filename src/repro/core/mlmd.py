@@ -31,6 +31,7 @@ from repro.md.localmode import LocalModeLattice, LocalModeModel
 from repro.topology.analysis import classify_texture, switching_time
 from repro.topology.charge import topological_charge
 from repro.topology.polarization import in_plane_slice
+from repro.utils.validation import validate_run_args
 
 
 @dataclass
@@ -142,8 +143,7 @@ class MLMDPipeline:
             raise RuntimeError("call prepare_ground_state() before running dynamics")
         if not (0.0 <= excitation_fraction <= 1.0):
             raise ValueError("excitation_fraction must lie in [0, 1]")
-        if num_steps < 1 or record_every < 1:
-            raise ValueError("num_steps and record_every must be >= 1")
+        validate_run_args(num_steps, record_every)
         lattice = self._lattice
         initial = classify_texture(lattice.modes)
         times: List[float] = []

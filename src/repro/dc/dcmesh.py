@@ -26,6 +26,7 @@ from repro.maxwell.coupling import MaxwellCoupler
 from repro.maxwell.pulses import LaserPulse
 from repro.perf.timers import TimerRegistry
 from repro.qd.tddft import RealTimeTDDFT
+from repro.utils.validation import validate_run_args
 
 
 @dataclass
@@ -108,6 +109,15 @@ class DCMESHSimulation:
     def num_domains(self) -> int:
         return len(self.domain_engines)
 
+    @property
+    def sampled_vector_potential(self) -> np.ndarray:
+        """The most recently sampled A(X_alpha) per domain."""
+        return self._sampled_a.copy()
+
+    def domain_currents(self) -> np.ndarray:
+        """Polarisation-projected cell-averaged current per domain."""
+        return self._domain_currents()
+
     def gather_excitations(self) -> np.ndarray:
         """The per-domain photo-excitation numbers n_exc^(alpha).
 
@@ -130,11 +140,29 @@ class DCMESHSimulation:
             currents[i] = float(np.dot(j_vec, self._polarization))
         return currents
 
+    def step_exchange(self) -> np.ndarray:
+        """Advance one Maxwell<->TDDFT exchange cycle (Eq. 2 outer step).
+
+        Runs ``qd_steps_per_exchange`` electronic QD steps in every domain
+        under the frozen field, deposits the resulting currents on the
+        macroscopic grid, advances the Maxwell solver, and resamples the
+        vector potential at the domain anchors.  Returns the new per-domain
+        A(X_alpha) values.
+        """
+        with self.timers.measure("lfd"):
+            for engine in self.domain_engines:
+                engine.step(self.qd_steps_per_exchange)
+        with self.timers.measure("maxwell"):
+            currents = self._domain_currents()
+            self._sampled_a = self.coupler.step(
+                currents, boundary_source=self._source
+            )
+        return self._sampled_a
+
     # ------------------------------------------------------------------
     def run(self, num_exchanges: int, record_dipoles: bool = True) -> DCMESHResult:
         """Run ``num_exchanges`` Maxwell<->TDDFT exchange cycles."""
-        if num_exchanges < 1:
-            raise ValueError("num_exchanges must be >= 1")
+        validate_run_args(num_exchanges)
         times = np.zeros(num_exchanges + 1)
         a_history = np.zeros((num_exchanges + 1, self.num_domains))
         current_history = np.zeros((num_exchanges + 1, self.num_domains))
@@ -156,14 +184,7 @@ class DCMESHSimulation:
         self._sampled_a = self.coupler.sample_vector_potential()
         record(0)
         for exchange in range(1, num_exchanges + 1):
-            with self.timers.measure("lfd"):
-                for engine in self.domain_engines:
-                    engine.step(self.qd_steps_per_exchange)
-            with self.timers.measure("maxwell"):
-                currents = self._domain_currents()
-                self._sampled_a = self.coupler.step(
-                    currents, boundary_source=self._source
-                )
+            self.step_exchange()
             record(exchange)
         return DCMESHResult(
             times=times,

@@ -21,7 +21,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.units import SPEED_OF_LIGHT_AU
-from repro.utils.validation import ensure_positive
+from repro.utils.validation import ensure_positive, validate_run_args
 
 
 @dataclass
@@ -149,6 +149,7 @@ class Maxwell1D:
         each step (the Maxwell<->TDDFT feedback loop); the returned array has
         shape ``(num_steps + 1, num_points)`` including the initial state.
         """
+        validate_run_args(num_steps)
         history = np.zeros((num_steps + 1, self.num_points))
         history[0] = self.a_curr
         for n in range(num_steps):

@@ -16,6 +16,7 @@ from repro.md.atoms import AtomsSystem
 from repro.md.forcefields import ForceField
 from repro.md.neighborlist import NeighborList
 from repro.units import KB_EV
+from repro.utils.validation import validate_run_args
 
 #: acceleration [A/fs^2] = force [eV/A] / mass [amu] * this factor
 _FORCE_TO_ACCEL = 9.648533212e-3
@@ -77,8 +78,7 @@ class VelocityVerlet:
 
     def step(self, atoms: AtomsSystem, num_steps: int = 1) -> MDSnapshot:
         """Advance ``atoms`` in place by ``num_steps`` steps; returns the last snapshot."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be >= 1")
+        validate_run_args(num_steps)
         forces = self._ensure_forces(atoms)
         snapshot = None
         for _ in range(num_steps):
@@ -140,10 +140,13 @@ class LangevinIntegrator:
         self._forces: np.ndarray | None = None
         self._time = 0.0
 
+    @property
+    def time(self) -> float:
+        return self._time
+
     def step(self, atoms: AtomsSystem, num_steps: int = 1) -> MDSnapshot:
         """Advance ``atoms`` by ``num_steps`` Langevin steps."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be >= 1")
+        validate_run_args(num_steps)
         if self._forces is None or self._forces.shape[0] != atoms.n_atoms:
             _, self._forces = self.force_field.compute(atoms, self.neighbor_list)
         forces = self._forces

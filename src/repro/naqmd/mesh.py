@@ -27,6 +27,7 @@ from repro.naqmd.ehrenfest import EhrenfestForces
 from repro.naqmd.nonadiabatic import nonadiabatic_coupling_matrix
 from repro.naqmd.surface_hopping import SurfaceHopping
 from repro.qd.tddft import RealTimeTDDFT
+from repro.utils.validation import validate_run_args
 
 
 @dataclass
@@ -99,6 +100,11 @@ class MESHIntegrator:
         self._time = 0.0
 
     # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Current MD time in atomic units."""
+        return self._time
+
     def _density(self) -> np.ndarray:
         return self.tddft.wavefunctions.density(
             self.tddft.occupations.electrons_per_orbital()
@@ -176,6 +182,5 @@ class MESHIntegrator:
 
     def run(self, num_steps: int) -> List[MESHStepResult]:
         """Run ``num_steps`` MD steps and return their results."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be >= 1")
+        validate_run_args(num_steps)
         return [self.step() for _ in range(num_steps)]

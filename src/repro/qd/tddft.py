@@ -27,11 +27,13 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.perf.timers import TimerRegistry
+from repro.perf.workspace import KernelWorkspace
 from repro.qd.hamiltonian import LocalHamiltonian
 from repro.qd.kin_prop import KineticPropagator
 from repro.qd.nlp_prop import NonlocalCorrection
 from repro.qd.occupations import OccupationState
 from repro.qd.wavefunctions import WaveFunctions
+from repro.utils.validation import validate_run_args
 
 
 @dataclass
@@ -86,6 +88,11 @@ class RealTimeTDDFT:
         their instantaneous projection on the reference orbitals; this is the
         lightweight proxy for the perturbative surface-hopping occupation
         update U_SH of Eq. (2) during the Ehrenfest segment.
+    workspace:
+        Optional :class:`~repro.perf.workspace.KernelWorkspace` forwarded to
+        the kinetic propagator, letting a batch of engines share one cache of
+        ``exp(-i dt (k + A/c)^2 / 2)`` phases; ``None`` uses the process-wide
+        default workspace.
     """
 
     hamiltonian: LocalHamiltonian
@@ -97,6 +104,7 @@ class RealTimeTDDFT:
     update_potentials_every: int = 1
     occupation_decoherence_rate: float = 0.0
     timers: TimerRegistry = field(default_factory=TimerRegistry)
+    workspace: Optional[KernelWorkspace] = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -104,7 +112,9 @@ class RealTimeTDDFT:
         if self.update_potentials_every < 1:
             raise ValueError("update_potentials_every must be >= 1")
         self._time = 0.0
-        self._kinetic = KineticPropagator(self.wavefunctions.grid, self.dt)
+        self._kinetic = KineticPropagator(
+            self.wavefunctions.grid, self.dt, workspace=self.workspace
+        )
         self._reference = self.wavefunctions.copy()
         # Make sure the potentials are consistent with the initial density.
         self.hamiltonian.update_potentials(
@@ -116,7 +126,8 @@ class RealTimeTDDFT:
     def time(self) -> float:
         return self._time
 
-    def _vector_potential(self) -> Optional[np.ndarray]:
+    def vector_potential(self) -> Optional[np.ndarray]:
+        """The vector potential sampled at the current time (None = field-free)."""
         if self.field_callback is None:
             return None
         return np.asarray(self.field_callback(self._time), dtype=float).reshape(3)
@@ -129,7 +140,7 @@ class RealTimeTDDFT:
     def step(self, steps: int = 1) -> None:
         """Advance the electronic state by ``steps`` QD steps."""
         for n in range(steps):
-            a_vec = self._vector_potential()
+            a_vec = self.vector_potential()
             with self.timers.measure("v_loc_prop"):
                 phase = self._half_local_phase()
                 self.wavefunctions.psi *= phase[None]
@@ -180,10 +191,7 @@ class RealTimeTDDFT:
     # ------------------------------------------------------------------
     def run(self, num_steps: int, record_every: int = 1) -> TDDFTResult:
         """Propagate ``num_steps`` QD steps, recording observables."""
-        if num_steps < 1:
-            raise ValueError("num_steps must be >= 1")
-        if record_every < 1:
-            raise ValueError("record_every must be >= 1")
+        validate_run_args(num_steps, record_every)
         times: List[float] = []
         dipoles: List[np.ndarray] = []
         currents: List[np.ndarray] = []
@@ -194,7 +202,7 @@ class RealTimeTDDFT:
         def record() -> None:
             weights = self.occupations.electrons_per_orbital()
             density = self.wavefunctions.density(weights)
-            a_vec = self._vector_potential()
+            a_vec = self.vector_potential()
             times.append(self._time)
             dipoles.append(self.hamiltonian.dipole_moment(density))
             currents.append(

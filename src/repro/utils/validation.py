@@ -17,6 +17,20 @@ def require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
+def validate_run_args(num_steps: int, record_every: int = 1) -> None:
+    """Validate the step/record arguments every engine ``run()`` accepts.
+
+    All engines raise the same ``ValueError`` text so callers (and the
+    adapter layer in :mod:`repro.api`) can rely on one contract:
+    ``num_steps`` — the number of native steps/exchanges — and
+    ``record_every`` — the recording stride — must both be at least 1.
+    """
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    if record_every < 1:
+        raise ValueError("record_every must be >= 1")
+
+
 def ensure_positive(value: float, name: str = "value") -> float:
     """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
     if not np.isfinite(value) or value <= 0:

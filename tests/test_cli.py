@@ -1,0 +1,87 @@
+"""End-to-end tests of the ``python -m repro`` command-line runner."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunResult
+from repro.api.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(*args: str, cwd=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT,
+        timeout=300,
+    )
+
+
+def test_list_shows_registered_scenarios():
+    proc = run_cli("list")
+    assert proc.returncode == 0, proc.stderr
+    lines = [line for line in proc.stdout.splitlines() if line.startswith("  ")]
+    assert len(lines) >= 6
+    names = {line.split()[0] for line in lines}
+    assert {"quickstart-tddft", "dcmesh-pulse", "mesh-hopping", "md-nve",
+            "localmode-switch", "mlmd-photoswitch"} <= names
+
+
+def test_run_writes_lossless_runresult_json(tmp_path):
+    out = tmp_path / "out.json"
+    proc = run_cli(
+        "run", "quickstart-tddft",
+        "--set", "runtime.num_steps=5",
+        "--set", "material.scf_max_iterations=5",
+        "--json", str(out),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "scenario : quickstart-tddft" in proc.stdout
+    data = json.loads(out.read_text())
+    result = RunResult.from_dict(data)
+    assert result.to_dict() == data  # lossless reload
+    assert result.scenario == "quickstart-tddft"
+    assert result.engine == "tddft"
+    assert result.metadata["spec"]["runtime"]["num_steps"] == 5
+
+
+def test_show_prints_spec_json():
+    proc = run_cli("show", "md-nve", "--set", "seed=42")
+    assert proc.returncode == 0, proc.stderr
+    spec = json.loads(proc.stdout)
+    assert spec["name"] == "md-nve"
+    assert spec["seed"] == 42
+
+
+def test_unknown_scenario_fails_cleanly():
+    proc = run_cli("run", "no-such-scenario")
+    assert proc.returncode == 2
+    assert "unknown scenario" in proc.stderr
+
+
+def test_bad_override_fails_cleanly():
+    proc = run_cli("run", "md-nve", "--set", "runtime.nope=1")
+    assert proc.returncode == 2
+    assert "unknown spec path" in proc.stderr
+
+
+@pytest.mark.parametrize("argv,expected", [
+    (["list"], 0),
+    (["run", "maxwell-vacuum", "--steps", "3", "--quiet"], 0),
+    (["run", "does-not-exist"], 2),
+])
+def test_main_inprocess(argv, expected, capsys):
+    assert main(argv) == expected
+    capsys.readouterr()  # drain
