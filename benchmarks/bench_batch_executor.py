@@ -1,0 +1,117 @@
+"""Benchmark worker-count scaling of the process-parallel ExecutionService.
+
+Runs the same batch of registry scenarios (shrunk to bench size) through
+
+1. the serial shared-workspace :class:`repro.api.BatchRunner` (baseline), and
+2. :class:`repro.api.ExecutionService` with 1, 2 and 4 worker processes,
+   with and without per-step checkpoint streaming,
+
+reporting wall time, speed-up over the serial baseline, and the checkpoint
+overhead.  Results are also sanity-checked for bit-identity against the
+serial baseline (the executor's merge contract).
+
+Writes ``results/BENCH_batch_executor.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+
+import numpy as np
+
+from common import print_table, write_result
+
+from repro.api import BatchRunner, ExecutionService, default_registry
+
+#: Bench-sized overrides per engine kind (heavier than the test smoke specs,
+#: light enough for a laptop run).
+BENCH_OVERRIDES = {
+    "tddft": {"material.scf_max_iterations": 10},
+    "dcmesh": {"material.scf_max_iterations": 10},
+    "mesh": {"material.scf_max_iterations": 10},
+    "md": {},
+    "localmode": {"propagator.relax_steps": 20},
+    "mlmd": {"propagator.relax_steps": 20},
+    "maxwell": {},
+}
+
+NUM_STEPS = 8
+WORKER_COUNTS = (1, 2, 4)
+
+
+def bench_specs():
+    registry = default_registry()
+    specs = []
+    for name in registry.names():
+        spec = registry.get(name)
+        specs.append(spec.with_overrides({
+            "runtime.num_steps": NUM_STEPS,
+            "runtime.record_every": 2,
+            **BENCH_OVERRIDES[spec.engine],
+        }))
+    return specs
+
+
+def check_parity(baseline, outcomes) -> bool:
+    for expected, actual in zip(baseline, outcomes):
+        if not (expected.ok and actual.ok):
+            return False
+        if not np.array_equal(expected.times, actual.times):
+            return False
+        for key in expected.observables:
+            if not np.array_equal(expected.observables[key],
+                                  actual.observables[key]):
+                return False
+    return True
+
+
+def main() -> None:
+    specs = bench_specs()
+    print(f"batch: {len(specs)} scenarios x {NUM_STEPS} steps "
+          f"(host CPUs: {multiprocessing.cpu_count()})")
+
+    start = time.perf_counter()
+    baseline = BatchRunner().run(specs)
+    serial_s = time.perf_counter() - start
+    rows = [{"mode": "serial BatchRunner", "workers": 0, "wall_s": serial_s,
+             "speedup": 1.0, "identical": True}]
+
+    for checkpointing in (False, True):
+        for workers in WORKER_COUNTS:
+            kwargs = {}
+            label = f"{workers} worker(s)"
+            if checkpointing:
+                tmp = tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-")
+                kwargs = {"checkpoint_dir": tmp.name, "checkpoint_every": 2}
+                label += " + checkpoints"
+            service = ExecutionService(workers=workers, **kwargs)
+            start = time.perf_counter()
+            outcomes = service.run(specs)
+            wall_s = time.perf_counter() - start
+            rows.append({
+                "mode": label,
+                "workers": workers,
+                "wall_s": wall_s,
+                "speedup": serial_s / wall_s if wall_s > 0 else float("inf"),
+                "identical": check_parity(baseline, outcomes),
+            })
+            if checkpointing:
+                tmp.cleanup()
+
+    print_table(
+        "ExecutionService worker scaling",
+        ["mode", "workers", "wall_s", "speedup", "identical"],
+        rows,
+    )
+    write_result("BENCH_batch_executor", {
+        "num_scenarios": len(specs),
+        "num_steps": NUM_STEPS,
+        "cpu_count": multiprocessing.cpu_count(),
+        "rows": rows,
+    })
+
+
+if __name__ == "__main__":
+    main()

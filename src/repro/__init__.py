@@ -22,7 +22,44 @@ from __future__ import annotations
 import importlib
 from typing import Any
 
-__version__ = "1.0.0"
+
+def _detect_version() -> str:
+    """The installed distribution version, falling back to pyproject.toml.
+
+    ``importlib.metadata`` answers when the package is pip-installed; running
+    straight off a source checkout (``PYTHONPATH=src``) reads the version
+    from the checkout's ``pyproject.toml`` instead.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or a broken metadata backend
+        pass
+    try:
+        import pathlib
+
+        pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        try:
+            import tomllib
+
+            with open(pyproject, "rb") as handle:
+                return str(tomllib.load(handle)["project"]["version"])
+        except ImportError:  # Python 3.10: no tomllib; scan the version line
+            import re
+
+            text = pyproject.read_text(encoding="utf-8")
+            match = re.search(
+                r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+            )
+            if match:
+                return match.group(1)
+            return "0+unknown"
+    except Exception:
+        return "0+unknown"
+
+
+__version__ = _detect_version()
 
 _SUBPACKAGES = (
     "analysis",

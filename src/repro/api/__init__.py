@@ -3,36 +3,51 @@
 * :mod:`repro.api.spec`     — :class:`ScenarioSpec` and its nested sections
   (grid, material, pulse, propagator, runtime, seed); JSON round-trippable.
 * :mod:`repro.api.engine`   — the unified :class:`Engine` protocol
-  (``prepare / step / observe / checkpoint / result``) and the adapter base.
+  (``prepare / step / observe / checkpoint / restore / result``) and the
+  adapter base with the resumable ``run`` / ``resume`` session loop.
 * :mod:`repro.api.adapters` — adapters retrofitting the protocol onto the
   TDDFT, DC-MESH, MESH, MD, local-mode, Maxwell and MLMD engines.
-* :mod:`repro.api.result`   — the unified :class:`RunResult` container.
+* :mod:`repro.api.result`   — the unified :class:`RunResult` container and
+  the :class:`RunFailure` batch error slot.
+* :mod:`repro.api.store`    — the on-disk :class:`CheckpointStore`
+  (atomic JSON snapshots keyed by scenario + run id).
 * :mod:`repro.api.registry` — named scenarios, :func:`run_scenario` and the
   shared-workspace :class:`BatchRunner`.
+* :mod:`repro.api.executor` — the process-parallel :class:`ExecutionService`
+  work-queue executor with checkpoint-based crash recovery.
 * :mod:`repro.api.cli`      — the ``python -m repro`` command-line runner.
 """
 
 from repro.api.adapters import ADAPTERS, build_engine
-from repro.api.engine import Engine, EngineAdapter
+from repro.api.engine import (
+    CHECKPOINT_FORMAT, CheckpointError, Engine, EngineAdapter,
+)
+from repro.api.executor import ExecutionService
 from repro.api.registry import (
     BatchRunner, ScenarioRegistry, default_registry, run_scenario,
 )
-from repro.api.result import RunResult
+from repro.api.result import RunFailure, RunResult
 from repro.api.spec import (
     ENGINE_KINDS, GridSpec, MaterialSpec, PropagatorSpec, PulseSpec,
     RuntimeSpec, ScenarioSpec, parse_assignments,
 )
+from repro.api.store import CheckpointStore
 
 __all__ = [
     "ADAPTERS",
     "BatchRunner",
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "CheckpointStore",
     "ENGINE_KINDS",
     "Engine",
     "EngineAdapter",
+    "ExecutionService",
     "GridSpec",
     "MaterialSpec",
     "PropagatorSpec",
     "PulseSpec",
+    "RunFailure",
     "RunResult",
     "RuntimeSpec",
     "ScenarioRegistry",

@@ -2,9 +2,15 @@
 
 Each adapter knows how to *construct* its simulation engine from a
 :class:`~repro.api.spec.ScenarioSpec` and how to *drive* it through the
-unified ``prepare / step / observe / checkpoint / result`` protocol.  The
-wrapped engines keep their imperative ``run()`` APIs untouched; the adapters
-only call public entry points (plus the spec-driven constructors).
+unified ``prepare / step / observe / checkpoint / restore / result``
+protocol.  The wrapped engines keep their imperative ``run()`` APIs
+untouched; the adapters only call public entry points (plus the spec-driven
+constructors), and the checkpoint state round-trip delegates to each
+engine's ``state_dict()`` / ``load_state_dict()`` pair.  State that a fresh
+``_build`` reconstructs deterministically from the spec (SCF ground states,
+reference orbitals, occupation baselines, couplers) is deliberately *not*
+checkpointed — only what stepping mutates, including every RNG stream, so a
+restored session continues bit-identically.
 
 Seeding convention: every adapter draws its RNGs from ``spec.rngs(4)``
 (:func:`repro.utils.rng.spawn_rngs` under the hood) with fixed stream roles —
@@ -116,10 +122,10 @@ class TDDFTEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {
-            "occupations": self.engine.occupations.occupations,
-            "norms": self.engine.wavefunctions.norms(),
-        }
+        return self.engine.state_dict()
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.engine.load_state_dict(state)
 
 
 class DCMESHEngine(EngineAdapter):
@@ -206,10 +212,10 @@ class DCMESHEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {
-            "vector_potential": self.simulation.sampled_vector_potential,
-            "domain_excitations": self.simulation.gather_excitations(),
-        }
+        return self.simulation.state_dict()
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.simulation.load_state_dict(state)
 
 
 class MESHEngine(EngineAdapter):
@@ -291,10 +297,10 @@ class MESHEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {
-            "positions": self.integrator.positions,
-            "velocities": self.integrator.velocities,
-        }
+        return self.integrator.state_dict()
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.integrator.load_state_dict(state)
 
 
 class MDEngine(EngineAdapter):
@@ -369,10 +375,10 @@ class MDEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {
-            "positions": self.atoms.positions,
-            "velocities": self.atoms.velocities,
-        }
+        return self.integrator.state_dict(self.atoms)
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.integrator.load_state_dict(self.atoms, state)
 
 
 class LocalModeEngine(EngineAdapter):
@@ -435,7 +441,16 @@ class LocalModeEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {"modes": self.lattice.modes, "velocities": self.lattice.velocities}
+        return {
+            "time": float(self._time_fs),
+            "lattice": self.lattice.state_dict(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.lattice.load_state_dict(state["lattice"])
+        self._rng.bit_generator.state = state["rng_state"]
+        self._time_fs = float(state["time"])
 
 
 class MaxwellEngine(EngineAdapter):
@@ -471,7 +486,10 @@ class MaxwellEngine(EngineAdapter):
         }
 
     def _state(self) -> Dict[str, Any]:
-        return {"a_curr": self.solver.a_curr, "a_prev": self.solver.a_prev}
+        return self.solver.state_dict()
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.solver.load_state_dict(state)
 
 
 class MLMDEngine(EngineAdapter):
@@ -564,9 +582,17 @@ class MLMDEngine(EngineAdapter):
 
     def _state(self) -> Dict[str, Any]:
         return {
-            "modes": self.lattice.modes,
-            "excitation_weight": self._weight,
+            "time": float(self._time_fs),
+            "lattice": self.lattice.state_dict(),
+            "excitation_weight": float(self._weight),
+            "rng_state": self._rng.bit_generator.state,
         }
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        self.lattice.load_state_dict(state["lattice"])
+        self._rng.bit_generator.state = state["rng_state"]
+        self._weight = float(state["excitation_weight"])
+        self._time_fs = float(state["time"])
 
 
 #: Engine kind -> adapter class.

@@ -8,15 +8,27 @@ Subcommands
     Print a scenario's full spec as JSON (after any ``--set`` overrides).
 ``run <scenario> [--set key=value ...] [--json PATH] [--steps N]``
     Build the engine, run it, print a final-value summary and optionally
-    write the full :class:`~repro.api.result.RunResult` as JSON.
+    write the full :class:`~repro.api.result.RunResult` as JSON.  With
+    ``--checkpoint-dir`` the run streams snapshots to a
+    :class:`~repro.api.store.CheckpointStore` (cadence: ``--checkpoint-every``
+    or the spec's ``runtime.checkpoint_every``), and ``--resume`` picks an
+    interrupted run back up from its latest snapshot.
+``batch [scenarios ...] [--all] [--workers N]``
+    Execute several scenarios through the
+    :class:`~repro.api.executor.ExecutionService` — sharded across worker
+    processes, failures isolated per run, crashed runs resumed from their
+    snapshots when checkpointing is enabled.
 
 Examples
 --------
 ::
 
+    python -m repro --version
     python -m repro list
     python -m repro run quickstart-tddft --set runtime.num_steps=5 --json out.json
-    python -m repro run mlmd-photoswitch --set propagator.excitation_fraction=0.0
+    python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --checkpoint-every 25
+    python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --resume
+    python -m repro batch --all --workers 4 --json batch.json
 """
 
 from __future__ import annotations
@@ -26,8 +38,35 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api.registry import default_registry, run_scenario
+from repro.api.engine import CheckpointError
+from repro.api.executor import ExecutionService
+from repro.api.registry import default_registry
+from repro.api.result import RunResult
 from repro.api.spec import ScenarioSpec, parse_assignments
+from repro.api.store import CheckpointStore
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _add_override_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="dotted-path spec override, e.g. runtime.num_steps=5")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="stream snapshots to a CheckpointStore rooted here")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="snapshot cadence in steps (default: the spec's "
+                             "runtime.checkpoint_every)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the latest snapshot in --checkpoint-dir "
+                             "instead of starting over")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,26 +75,49 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Run the MLMD reproduction's simulation scenarios "
                     "from declarative specs.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the registered scenarios")
 
     show = sub.add_parser("show", help="print one scenario spec as JSON")
     show.add_argument("scenario", help="registered scenario name")
-    show.add_argument("--set", dest="overrides", action="append", default=[],
-                      metavar="KEY=VALUE", help="dotted-path spec override")
+    _add_override_args(show)
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("scenario", help="registered scenario name")
-    run.add_argument("--set", dest="overrides", action="append", default=[],
-                     metavar="KEY=VALUE",
-                     help="dotted-path spec override, e.g. runtime.num_steps=5")
+    _add_override_args(run)
     run.add_argument("--json", dest="json_path", default=None, metavar="PATH",
                      help="write the full RunResult JSON to PATH ('-' = stdout)")
     run.add_argument("--steps", type=int, default=None,
                      help="shorthand for --set runtime.num_steps=N")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the human-readable summary")
+    _add_checkpoint_args(run)
+    run.add_argument("--run-id", default="default", metavar="ID",
+                     help="checkpoint-store key of this run (default: 'default')")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run several scenarios through the parallel ExecutionService",
+    )
+    batch.add_argument("scenarios", nargs="*",
+                       help="registered scenario names (repeat a name to run "
+                            "it twice)")
+    batch.add_argument("--all", action="store_true",
+                       help="run every registered scenario")
+    batch.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker process count (0 = inline, default)")
+    batch.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="retries per failed run before giving up (default 1)")
+    _add_override_args(batch)
+    batch.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                       help="write all outcomes as a JSON array to PATH "
+                            "('-' = stdout)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress the per-run summary table")
+    _add_checkpoint_args(batch)
     return parser
 
 
@@ -84,32 +146,105 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_run_summary(result: RunResult) -> None:
+    print(f"scenario : {result.scenario}  (engine: {result.engine})")
+    print(f"records  : {result.num_records} samples to t = {result.times[-1]:.4g}")
+    executor_meta = result.metadata.get("executor") or {}
+    if executor_meta.get("resumed_from_step") is not None:
+        print(f"resumed  : from step {executor_meta['resumed_from_step']}")
+    for key, value in result.summary().items():
+        if key in ("scenario", "engine", "final_time"):
+            continue
+        print(f"  {key:<24} {value:.6g}")
+    for name, stats in result.timers.items():
+        print(f"  [timer] {name:<15} {stats['elapsed']:.3f} s "
+              f"over {int(stats['calls'])} calls")
+
+
+def _write_json(text: str, path: str, quiet: bool) -> None:
+    if path == "-":
+        print(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    if not quiet:
+        print(f"wrote {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = list(args.overrides)
     if args.steps is not None:
         overrides.append(f"runtime.num_steps={args.steps}")
     spec = _resolve_spec(args.scenario, overrides)
-    result = run_scenario(spec)
+    if args.resume and not args.checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
+    if args.resume and not args.quiet:
+        latest = CheckpointStore(args.checkpoint_dir).latest(spec.name, args.run_id)
+        if latest is None:
+            print(f"no snapshot for {spec.name!r} run {args.run_id!r}; "
+                  "starting fresh")
+
+    # A single run is a one-spec batch through the inline executor, which
+    # owns all the checkpoint-store / resume bookkeeping.
+    service = ExecutionService(
+        workers=0,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_retries=0,
+    )
+    outcome = service.run([spec], run_ids=[args.run_id], resume=args.resume)[0]
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
     if not args.quiet:
-        print(f"scenario : {result.scenario}  (engine: {result.engine})")
-        print(f"records  : {result.num_records} samples to t = {result.times[-1]:.4g}")
-        for key, value in result.summary().items():
-            if key in ("scenario", "engine", "final_time"):
-                continue
-            print(f"  {key:<24} {value:.6g}")
-        for name, stats in result.timers.items():
-            print(f"  [timer] {name:<15} {stats['elapsed']:.3f} s "
-                  f"over {int(stats['calls'])} calls")
+        _print_run_summary(outcome)
     if args.json_path:
-        text = result.to_json()
-        if args.json_path == "-":
-            print(text)
-        else:
-            with open(args.json_path, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            if not args.quiet:
-                print(f"wrote {args.json_path}")
+        _write_json(outcome.to_json(), args.json_path, args.quiet)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
+    registry = default_registry()
+    names = list(args.scenarios)
+    if args.all:
+        names.extend(n for n in registry.names() if n not in names)
+    if not names:
+        raise ValueError("batch needs scenario names (or --all)")
+    assignments = parse_assignments(args.overrides)
+    specs = []
+    for name in names:
+        spec = registry.get(name)
+        if assignments:
+            spec = spec.with_overrides(assignments)
+        specs.append(spec)
+
+    service = ExecutionService(
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_retries=args.max_retries,
+    )
+    outcomes = service.run(specs, resume=args.resume)
+
+    failures = 0
+    if not args.quiet:
+        width = max(len(n) for n in names)
+        for name, outcome in zip(names, outcomes):
+            if outcome.ok:
+                print(f"  {name:<{width}}  ok      "
+                      f"{outcome.num_records} records to t = {outcome.times[-1]:.4g}")
+            else:
+                failures += 1
+                print(f"  {name:<{width}}  FAILED  {outcome.error} "
+                      f"(attempts: {outcome.attempts})")
+    else:
+        failures = sum(1 for outcome in outcomes if not outcome.ok)
+    if args.json_path:
+        payload = json.dumps([outcome.to_dict() for outcome in outcomes])
+        _write_json(payload, args.json_path, args.quiet)
+    return 1 if failures else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -119,8 +254,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list()
         if args.command == "show":
             return _cmd_show(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         return _cmd_run(args)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, CheckpointError) as exc:
         # str(KeyError) is the repr of its message; unwrap for clean output.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)

@@ -2,35 +2,58 @@
 
 Every simulation subsystem — real-time TDDFT, DC-MESH, the single-domain MESH
 integrator, classical MD, the local-mode lattice, the 1-D Maxwell solver and
-the end-to-end MLMD pipeline — is exposed through the same five-method
+the end-to-end MLMD pipeline — is exposed through the same resumable-session
 life cycle:
 
-    prepare()     build the underlying engine from the ScenarioSpec
-    step(n)       advance by n native steps
-    observe()     current observables as a {name: scalar/array} dict
-    checkpoint()  JSON-able snapshot of the mutable state
-    result()      everything recorded so far as a RunResult
+    prepare()         build the underlying engine from the ScenarioSpec
+    step(n)           advance by n native steps
+    observe()         current observables as a {name: scalar/array} dict
+    checkpoint()      JSON-able snapshot of the full session state
+    restore(ckpt)     inverse of checkpoint(): load a snapshot into a
+                      prepared engine (validated against spec/engine/time)
+    result()          everything recorded so far as a RunResult
 
 Adapters (:mod:`repro.api.adapters`) retrofit the protocol onto the existing
 engines without touching their imperative ``run()`` APIs; the shared
 :meth:`EngineAdapter.run` loop gives every engine identical argument
-validation (:func:`repro.utils.validation.validate_run_args`) and identical
+validation (:func:`repro.utils.validation.validate_run_args`), identical
 recording semantics (record the initial state, then every ``record_every``-th
-step).
+step) and identical checkpointing semantics (emit a snapshot every
+``checkpoint_every``-th step plus one at the final step whenever an
+``on_checkpoint`` sink is given).
+
+Checkpoints are *complete sessions*: besides the engine's mutable state they
+carry the spec, the step counter and the observable series recorded so far,
+so :meth:`EngineAdapter.resume` on a freshly built adapter finishes an
+interrupted run with a :class:`RunResult` bit-identical (times and all
+observables) to the uninterrupted one.  All floats survive the JSON cycle
+bit-exactly (shortest-round-trip literals), and every stochastic component's
+RNG stream is part of the state, so resumed Langevin/FSSH trajectories draw
+exactly the numbers the uninterrupted ones would.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.api.result import RunResult, _plain
+from repro.api.result import RunResult, _plain, revive
 from repro.api.spec import ScenarioSpec
 from repro.perf.timers import TimerRegistry
 from repro.perf.workspace import KernelWorkspace, get_workspace
 from repro.utils.validation import validate_run_args
+
+#: Version stamp written into every checkpoint payload.
+CHECKPOINT_FORMAT = 1
+
+#: Absolute tolerance when validating the restored clock against the snapshot.
+_TIME_ATOL = 1e-9
+
+
+class CheckpointError(ValueError):
+    """A checkpoint payload is malformed or does not match the engine/spec."""
 
 
 @runtime_checkable
@@ -46,6 +69,8 @@ class Engine(Protocol):
     def observe(self) -> Dict[str, Any]: ...
 
     def checkpoint(self) -> Dict[str, Any]: ...
+
+    def restore(self, checkpoint: Dict[str, Any]) -> None: ...
 
     def result(self) -> RunResult: ...
 
@@ -72,6 +97,7 @@ class EngineAdapter(abc.ABC):
         self.workspace = workspace if workspace is not None else get_workspace()
         self.timers = TimerRegistry()
         self._prepared = False
+        self._step = 0
         self._times: List[float] = []
         self._records: Dict[str, List[Any]] = {}
         self._metadata: Dict[str, Any] = {}
@@ -96,9 +122,13 @@ class EngineAdapter(abc.ABC):
     def time(self) -> float:
         """Current simulation time in the engine's native unit."""
 
+    @abc.abstractmethod
     def _state(self) -> Dict[str, Any]:
-        """Mutable state snapshot for :meth:`checkpoint` (overridable)."""
-        return {}
+        """Mutable state snapshot for :meth:`checkpoint`."""
+
+    @abc.abstractmethod
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`_state`: load a (revived) snapshot in place."""
 
     # ------------------------------------------------------------------
     # Protocol implementation
@@ -114,26 +144,154 @@ class EngineAdapter(abc.ABC):
         validate_run_args(num_steps)
         self.prepare()
         self._advance(num_steps)
+        self._step += num_steps
 
     def checkpoint(self) -> Dict[str, Any]:
+        """A complete JSON-able session snapshot.
+
+        The payload is self-contained: it carries the spec (so a scheduler
+        can rebuild the adapter from the checkpoint alone), the engine's
+        mutable state, the step counter and everything recorded so far.
+        """
         self.prepare()
         return {
+            "format": CHECKPOINT_FORMAT,
             "scenario": self.spec.name,
             "engine": self.kind,
             "time": float(self.time),
+            "step": int(self._step),
+            "spec": self.spec.to_dict(),
             "state": _plain(self._state()),
+            "times": [float(t) for t in self._times],
+            "records": _plain(self._records),
+        }
+
+    def restore(self, checkpoint: Dict[str, Any]) -> None:
+        """Load a :meth:`checkpoint` payload into this (fresh) adapter.
+
+        The payload is validated against the adapter: engine kind, scenario
+        name and — when the checkpoint carries one — the full spec must
+        match, and after the state is loaded the engine clock must agree with
+        the snapshot's ``time``.  On success the recording session (times,
+        records, step counter) continues exactly where the snapshot left off.
+        """
+        if not isinstance(checkpoint, dict):
+            raise CheckpointError("checkpoint must be a dict payload")
+        fmt = checkpoint.get("format", CHECKPOINT_FORMAT)
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported checkpoint format {fmt!r} "
+                f"(this build writes format {CHECKPOINT_FORMAT})"
+            )
+        if checkpoint.get("engine") != self.kind:
+            raise CheckpointError(
+                f"checkpoint was written by engine {checkpoint.get('engine')!r}, "
+                f"this adapter is {self.kind!r}"
+            )
+        if checkpoint.get("scenario") != self.spec.name:
+            raise CheckpointError(
+                f"checkpoint belongs to scenario {checkpoint.get('scenario')!r}, "
+                f"this adapter runs {self.spec.name!r}"
+            )
+        spec_dict = checkpoint.get("spec")
+        if spec_dict is not None:
+            # The runtime section (num_steps/record_every/checkpoint_every)
+            # and the description are driver knobs, not physics: resuming an
+            # interrupted run with a longer horizon is the whole point.
+            # Everything else (grid, material, pulse, propagator, seed)
+            # defines the state being restored and must match exactly.
+            driver_keys = ("runtime", "description")
+            stored = {k: v for k, v in spec_dict.items() if k not in driver_keys}
+            ours = {
+                k: v for k, v in self.spec.to_dict().items()
+                if k not in driver_keys
+            }
+            if stored != ours:
+                mismatched = sorted(
+                    k for k in set(stored) | set(ours)
+                    if stored.get(k) != ours.get(k)
+                )
+                raise CheckpointError(
+                    f"checkpoint spec does not match this adapter's spec "
+                    f"(sections {mismatched}); restoring into a different "
+                    "configuration would not reproduce the interrupted run"
+                )
+        if "state" not in checkpoint or "time" not in checkpoint:
+            raise CheckpointError("checkpoint is missing 'state' or 'time'")
+        self.prepare()
+        self._load_state(revive(checkpoint["state"]))
+        restored_time = float(self.time)
+        expected_time = float(checkpoint["time"])
+        if abs(restored_time - expected_time) > _TIME_ATOL:
+            raise CheckpointError(
+                f"restored engine clock is {restored_time!r}, checkpoint says "
+                f"{expected_time!r}; the state snapshot is inconsistent"
+            )
+        self._step = int(checkpoint.get("step", 0))
+        self._times = [float(t) for t in checkpoint.get("times", [])]
+        self._records = {
+            str(name): [np.asarray(value, dtype=float) for value in series]
+            for name, series in revive(checkpoint.get("records", {})).items()
         }
 
     def record(self) -> None:
-        """Append the current observables to the recorded time series."""
+        """Append the current observables to the recorded time series.
+
+        Values are *copied*: engines that mutate their state arrays in place
+        (for example the MESH integrator's ion positions) would otherwise
+        leave every recorded sample aliasing the final state.
+        """
         self.prepare()
         observation = self.observe()
         self._times.append(float(self.time))
         for name, value in observation.items():
-            self._records.setdefault(name, []).append(np.asarray(value, dtype=float))
+            self._records.setdefault(name, []).append(
+                np.array(value, dtype=float, copy=True)
+            )
+
+    def _resolve_run_args(self, num_steps, record_every, checkpoint_every):
+        if num_steps is None:
+            num_steps = self.spec.runtime.num_steps
+        if record_every is None:
+            record_every = self.spec.runtime.record_every
+        if checkpoint_every is None:
+            checkpoint_every = self.spec.runtime.checkpoint_every
+        validate_run_args(num_steps, record_every)
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        return int(num_steps), int(record_every), (
+            int(checkpoint_every) if checkpoint_every is not None else None
+        )
+
+    def _drive(self, num_steps: int, record_every: int,
+               checkpoint_every: Optional[int],
+               on_checkpoint: Optional[Callable[[Dict[str, Any]], Any]]) -> RunResult:
+        """Advance from the current step counter to ``num_steps``.
+
+        Emits a snapshot to ``on_checkpoint`` every ``checkpoint_every``-th
+        step; when a sink is given, the final step is always snapshotted so a
+        completed run's store ends on a resumable (and already-complete)
+        checkpoint.
+        """
+        while self._step < num_steps:
+            self._advance(1)
+            self._step += 1
+            if self._step % record_every == 0:
+                self.record()
+            if on_checkpoint is not None and (
+                self._step == num_steps
+                or (checkpoint_every is not None
+                    and self._step % checkpoint_every == 0)
+            ):
+                with self.timers.measure("checkpoint"):
+                    on_checkpoint(self.checkpoint())
+        return self.result()
 
     def run(self, num_steps: Optional[int] = None,
-            record_every: Optional[int] = None) -> RunResult:
+            record_every: Optional[int] = None,
+            checkpoint_every: Optional[int] = None,
+            on_checkpoint: Optional[Callable[[Dict[str, Any]], Any]] = None,
+            ) -> RunResult:
         """Drive the engine through the standard record/step loop.
 
         Each call starts a fresh recording session (previously recorded
@@ -141,22 +299,45 @@ class EngineAdapter(abc.ABC):
         :class:`RunResult` always describes exactly this run even when the
         engine was stepped or run before.  The one-time ``prepare`` timer is
         only part of the first run's report (preparation is lazy).
+
+        ``on_checkpoint`` (for example
+        :meth:`repro.api.store.CheckpointStore.save` bound to a run id)
+        receives a session snapshot every ``checkpoint_every``-th step — the
+        default cadence comes from ``spec.runtime.checkpoint_every`` — plus
+        one at the final step.
         """
-        if num_steps is None:
-            num_steps = self.spec.runtime.num_steps
-        if record_every is None:
-            record_every = self.spec.runtime.record_every
-        validate_run_args(num_steps, record_every)
+        num_steps, record_every, checkpoint_every = self._resolve_run_args(
+            num_steps, record_every, checkpoint_every
+        )
         self.timers.reset()
         self.prepare()
+        self._step = 0
         self._times = []
         self._records = {}
         self.record()
-        for n in range(num_steps):
-            self._advance(1)
-            if (n + 1) % record_every == 0:
-                self.record()
-        return self.result()
+        return self._drive(num_steps, record_every, checkpoint_every, on_checkpoint)
+
+    def resume(self, checkpoint: Dict[str, Any],
+               num_steps: Optional[int] = None,
+               record_every: Optional[int] = None,
+               checkpoint_every: Optional[int] = None,
+               on_checkpoint: Optional[Callable[[Dict[str, Any]], Any]] = None,
+               ) -> RunResult:
+        """Restore a snapshot and finish the interrupted run.
+
+        The record/checkpoint cadence continues from the snapshot's step
+        counter, so the returned :class:`RunResult` is bit-identical (times
+        and all observables) to the one an uninterrupted
+        ``run(num_steps, record_every)`` would have produced.  Resuming a
+        checkpoint that is already at (or past) ``num_steps`` returns the
+        completed result without stepping.
+        """
+        num_steps, record_every, checkpoint_every = self._resolve_run_args(
+            num_steps, record_every, checkpoint_every
+        )
+        self.timers.reset()
+        self.restore(checkpoint)
+        return self._drive(num_steps, record_every, checkpoint_every, on_checkpoint)
 
     def result(self) -> RunResult:
         observables = {

@@ -1,0 +1,311 @@
+"""Process-parallel batch execution with automatic crash-resume.
+
+:class:`ExecutionService` is the work-queue executor the ROADMAP's
+serving/batching item asks for: it shards a batch of scenario specs across
+``multiprocessing`` workers, gives every worker its own
+:class:`~repro.perf.workspace.KernelWorkspace` (the workspace is deliberately
+not shared across processes — each worker amortises its own phase/stencil
+caches over the runs it executes), streams periodic checkpoints to a
+:class:`~repro.api.store.CheckpointStore`, and merges the per-run outcomes —
+shipped between processes as ``RunResult`` JSON dicts — back into input
+order.
+
+Failure handling is two-layered:
+
+* an exception inside a run is captured in the worker and reported as a
+  :class:`~repro.api.result.RunFailure` payload for that slot only;
+* a worker process that dies outright (OOM kill, segfault) breaks the pool —
+  every payload of that round is requeued into *quarantine* (one private
+  single-worker pool each) without charging anyone's retry budget, so the
+  next round pins the crash on the run that actually caused it while the
+  healthy collateral runs complete undisturbed.
+
+Either way, a failed run is retried up to ``max_retries`` times with
+``resume=True``: when checkpointing is enabled the retry picks up from the
+run's last stored snapshot instead of starting over, so a crash costs at most
+``checkpoint_every`` steps of work and the final result is bit-identical to
+an uninterrupted run.
+
+``workers=0`` executes the same code path inline (no subprocesses) — handy
+for debugging and for platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.adapters import build_engine
+from repro.api.result import RunFailure, RunResult
+from repro.api.spec import ScenarioSpec
+from repro.api.store import CheckpointStore
+from repro.perf.workspace import KernelWorkspace
+
+#: Per-process workspace, created once per worker by :func:`_worker_init` so
+#: every run a worker executes shares the same kernel caches.
+_WORKER_WORKSPACE: Optional[KernelWorkspace] = None
+
+#: One batch slot: a completed run or the failure that exhausted its retries.
+BatchOutcome = Union[RunResult, RunFailure]
+
+
+def _worker_init() -> None:
+    global _WORKER_WORKSPACE
+    _WORKER_WORKSPACE = KernelWorkspace()
+
+
+def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
+    workspace = _WORKER_WORKSPACE if _WORKER_WORKSPACE is not None \
+        else KernelWorkspace()
+    engine = build_engine(spec, workspace=workspace)
+    run_id = str(payload.get("run_id", "default"))
+    checkpoint_every = payload.get("checkpoint_every")
+    store = None
+    on_checkpoint = None
+    if payload.get("checkpoint_dir"):
+        store = CheckpointStore(
+            payload["checkpoint_dir"], keep=int(payload.get("keep", 0))
+        )
+        on_checkpoint = lambda ckpt: store.save(ckpt, run_id=run_id)  # noqa: E731
+
+    resumed_from = None
+    if payload.get("resume") and store is not None:
+        snapshot = store.latest(spec.name, run_id)
+        if snapshot is not None:
+            resumed_from = int(snapshot.get("step", 0))
+            result = engine.resume(
+                snapshot,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
+        else:
+            result = engine.run(
+                checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint
+            )
+    else:
+        result = engine.run(
+            checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint
+        )
+    result.metadata["executor"] = {
+        "worker_pid": os.getpid(),
+        "run_id": run_id,
+        "attempt": int(payload.get("attempt", 1)),
+        "resumed_from_step": resumed_from,
+    }
+    result.metadata["workspace_stats"] = dict(workspace.stats)
+    return result
+
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one payload, never raise.
+
+    Returns ``{"index", "ok": RunResult dict}`` on success and
+    ``{"index", "failure": RunFailure dict}`` when the run raises, so the
+    parent can do per-slot bookkeeping regardless of what went wrong.
+    """
+    index = int(payload["index"])
+    try:
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        result = _run_payload(spec, payload)
+        return {"index": index, "ok": result.to_dict()}
+    except Exception as exc:  # noqa: BLE001 - the slot records the failure
+        scenario = str(payload.get("spec", {}).get("name", "?"))
+        engine = str(payload.get("spec", {}).get("engine", "?"))
+        failure = RunFailure.from_exception(
+            scenario, engine, exc, attempts=int(payload.get("attempt", 1))
+        )
+        return {"index": index, "failure": failure.to_dict()}
+
+
+def _default_mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    # fork is cheapest (no re-import) and inherits monkeypatched test state;
+    # fall back to the platform default elsewhere (macOS/Windows -> spawn).
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ExecutionService:
+    """Shard scenario batches across worker processes, resuming crashed runs.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``0`` runs inline in the calling process and
+        ``None`` uses the machine's CPU count.
+    checkpoint_dir:
+        Root of the :class:`CheckpointStore` the workers write to (and
+        resume from).  ``None`` disables snapshots — retries then restart
+        failed runs from scratch.
+    checkpoint_every:
+        Snapshot cadence in steps, overriding each spec's
+        ``runtime.checkpoint_every`` when given.
+    max_retries:
+        How many times a failed run is re-queued (with ``resume=True``)
+        before its slot becomes a :class:`RunFailure`.
+    keep:
+        Per-run snapshot retention forwarded to :class:`CheckpointStore`
+        (0 keeps every snapshot).
+    mp_context:
+        Optional ``multiprocessing`` context; defaults to ``fork`` where
+        available.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 checkpoint_dir=None,
+                 checkpoint_every: Optional[int] = None,
+                 max_retries: int = 1,
+                 keep: int = 0,
+                 mp_context=None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline execution)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        self.workers = int(workers)
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every is not None else None
+        )
+        self.max_retries = int(max_retries)
+        self.keep = int(keep)
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def _payload(self, index: int, spec: ScenarioSpec, run_id: str,
+                 resume: bool, attempt: int) -> Dict[str, Any]:
+        return {
+            "index": index,
+            "spec": spec.to_dict(),
+            "run_id": run_id,
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_every": self.checkpoint_every,
+            "keep": self.keep,
+            "resume": bool(resume),
+            "attempt": int(attempt),
+        }
+
+    def _run_pool(self, payloads: List[Dict[str, Any]], workers: int,
+                  ) -> Dict[int, Dict[str, Any]]:
+        """One worker pool over ``payloads``; never raises.
+
+        A worker process that dies outright breaks the whole pool, so every
+        unfinished future of the pool raises — those outcomes are tagged
+        ``pool_broken`` so the caller can tell collateral damage (a healthy
+        run whose pool was broken by a neighbour) from a run's own failure.
+        """
+        context = self._mp_context if self._mp_context is not None \
+            else _default_mp_context()
+        outcomes: Dict[int, Dict[str, Any]] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)),
+            mp_context=context,
+            initializer=_worker_init,
+        ) as pool:
+            futures = {
+                pool.submit(execute_payload, payload): payload
+                for payload in payloads
+            }
+            for future in as_completed(futures):
+                payload = futures[future]
+                index = int(payload["index"])
+                try:
+                    outcomes[index] = future.result()
+                except Exception as exc:  # worker died (BrokenProcessPool, ...)
+                    failure = RunFailure.from_exception(
+                        str(payload["spec"]["name"]),
+                        str(payload["spec"]["engine"]),
+                        exc,
+                        attempts=int(payload.get("attempt", 1)),
+                    )
+                    outcomes[index] = {
+                        "index": index,
+                        "failure": failure.to_dict(),
+                        "pool_broken": True,
+                    }
+        return outcomes
+
+    def _execute_round(self, pending: List[Dict[str, Any]],
+                       ) -> List[Dict[str, Any]]:
+        if self.workers == 0:
+            if _WORKER_WORKSPACE is None:
+                _worker_init()
+            return [execute_payload(payload) for payload in pending]
+        outcomes: Dict[int, Dict[str, Any]] = {}
+        shared = [p for p in pending if not p.get("isolated")]
+        if shared:
+            outcomes.update(self._run_pool(shared, self.workers))
+        # Quarantined payloads (their previous shared pool broke) each get a
+        # private single-worker pool: a dying worker then only takes down the
+        # run that killed it, and the failure is unambiguously its own.
+        for payload in pending:
+            if payload.get("isolated"):
+                outcomes.update(self._run_pool([payload], 1))
+        return [outcomes[int(payload["index"])] for payload in pending]
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ScenarioSpec],
+            run_ids: Optional[Sequence[str]] = None,
+            resume: bool = False) -> List[BatchOutcome]:
+        """Execute every spec, merging outcomes back into input order.
+
+        ``run_ids`` names each run inside the checkpoint store (defaults to
+        the stable ``run-<index>``); pass the same ids across invocations to
+        resume a previous batch with ``resume=True``.
+        """
+        specs = [spec.copy() for spec in specs]
+        if run_ids is None:
+            run_ids = [f"run-{i:04d}" for i in range(len(specs))]
+        run_ids = [str(run_id) for run_id in run_ids]
+        if len(run_ids) != len(specs):
+            raise ValueError("run_ids must have one entry per spec")
+        if len(set(run_ids)) != len(run_ids):
+            duplicated = sorted(
+                {run_id for run_id in run_ids if run_ids.count(run_id) > 1}
+            )
+            raise ValueError(f"duplicate run_ids: {duplicated}")
+
+        slots: List[Optional[BatchOutcome]] = [None] * len(specs)
+        attempts = [0] * len(specs)
+        pending = [
+            self._payload(i, spec, run_ids[i], resume=resume, attempt=1)
+            for i, spec in enumerate(specs)
+        ]
+        while pending:
+            retry: List[Dict[str, Any]] = []
+            for payload, outcome in zip(pending, self._execute_round(pending)):
+                index = int(payload["index"])
+                if "ok" in outcome:
+                    slots[index] = RunResult.from_dict(outcome["ok"])
+                    continue
+                if outcome.get("pool_broken") and not payload.get("isolated"):
+                    # Collateral damage: some run in the shared pool killed
+                    # its worker and broke the pool for everyone.  Requeue
+                    # into quarantine WITHOUT charging this run's retry
+                    # budget — only a failure in its own (isolated) pool, or
+                    # an in-run exception, counts against it.
+                    retry.append({**payload, "isolated": True})
+                    continue
+                attempts[index] += 1
+                if attempts[index] <= self.max_retries:
+                    # Retry with resume: with checkpointing enabled the rerun
+                    # continues from the last stored snapshot.
+                    retry.append(
+                        self._payload(
+                            index, specs[index], run_ids[index],
+                            resume=True, attempt=attempts[index] + 1,
+                        )
+                    )
+                else:
+                    failure = RunFailure.from_dict(outcome["failure"])
+                    failure.attempts = attempts[index]
+                    slots[index] = failure
+            pending = retry
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]

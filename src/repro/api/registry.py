@@ -9,10 +9,10 @@ override them without affecting the registry.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.adapters import build_engine
-from repro.api.result import RunResult
+from repro.api.result import RunFailure, RunResult
 from repro.api.spec import (
     GridSpec, MaterialSpec, PropagatorSpec, PulseSpec, RuntimeSpec, ScenarioSpec,
 )
@@ -195,10 +195,27 @@ def default_registry() -> ScenarioRegistry:
 def run_scenario(spec: ScenarioSpec,
                  workspace: Optional[KernelWorkspace] = None,
                  num_steps: Optional[int] = None,
-                 record_every: Optional[int] = None) -> RunResult:
-    """Build the adapter for ``spec`` and drive it through a full run."""
+                 record_every: Optional[int] = None,
+                 checkpoint_every: Optional[int] = None,
+                 on_checkpoint: Optional[Callable[[Dict[str, Any]], Any]] = None,
+                 resume_from: Optional[Dict[str, Any]] = None) -> RunResult:
+    """Build the adapter for ``spec`` and drive it through a full run.
+
+    ``resume_from`` accepts an :meth:`~repro.api.engine.EngineAdapter.checkpoint`
+    payload (for example :meth:`repro.api.store.CheckpointStore.latest`) and
+    finishes the interrupted run instead of starting over; ``on_checkpoint``
+    receives periodic snapshots every ``checkpoint_every`` steps either way.
+    """
     engine = build_engine(spec, workspace=workspace)
-    return engine.run(num_steps=num_steps, record_every=record_every)
+    if resume_from is not None:
+        return engine.resume(
+            resume_from, num_steps=num_steps, record_every=record_every,
+            checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint,
+        )
+    return engine.run(
+        num_steps=num_steps, record_every=record_every,
+        checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint,
+    )
 
 
 class BatchRunner:
@@ -210,15 +227,32 @@ class BatchRunner:
     replayed by every later run that touches the same grid/time step.  Each
     result's metadata records the cumulative workspace statistics at the time
     the run finished, so tests and benchmarks can verify cross-run cache hits.
+
+    Failures are isolated per run: a scenario that raises fills its own slot
+    with a :class:`~repro.api.result.RunFailure` (``slot.ok`` discriminates)
+    and the remaining scenarios still execute.  Pass ``raise_on_error=True``
+    to re-raise the first failure instead.
+
+    For multi-process sharding of the same batch — plus checkpoint-based
+    crash recovery — see :class:`repro.api.executor.ExecutionService`.
     """
 
     def __init__(self, workspace: Optional[KernelWorkspace] = None) -> None:
         self.workspace = workspace if workspace is not None else KernelWorkspace()
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
-        results: List[RunResult] = []
+    def run(self, specs: Sequence[ScenarioSpec],
+            raise_on_error: bool = False) -> List[Union[RunResult, RunFailure]]:
+        results: List[Union[RunResult, RunFailure]] = []
         for spec in specs:
-            result = run_scenario(spec, workspace=self.workspace)
+            try:
+                result = run_scenario(spec, workspace=self.workspace)
+            except Exception as exc:  # noqa: BLE001 - recorded in the slot
+                if raise_on_error:
+                    raise
+                results.append(
+                    RunFailure.from_exception(spec.name, spec.engine, exc)
+                )
+                continue
             result.metadata["workspace_stats"] = dict(self.workspace.stats)
             results.append(result)
         return results

@@ -5,21 +5,54 @@ of which simulation subsystem produced it, so downstream consumers (the CLI,
 batch runners, benchmark harnesses, future serving layers) handle one schema.
 Results round-trip losslessly through plain dicts / JSON: observable arrays
 are stored as nested lists and reconstructed as float ndarrays.
+
+The same machinery serialises engine *state* for checkpoints: complex arrays
+(TDDFT orbitals, surface-hopping amplitudes) are encoded as tagged
+``{"__complex__": ..., "real": ..., "imag": ...}`` dicts by :func:`_plain` and
+decoded back to complex ndarrays by :func:`revive`.  Because Python's JSON
+writer emits shortest-round-trip float literals, a ``_plain``/JSON/``revive``
+cycle reproduces every float64 bit-exactly — the property the
+checkpoint -> restore contract relies on.
+
+:class:`RunFailure` is the error slot of batch execution: when one scenario of
+a batch raises, the failure is recorded in that run's slot (scenario, error,
+traceback, attempt count) and the remaining runs proceed.
 """
 
 from __future__ import annotations
 
 import json
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
 
 import numpy as np
 
+#: Tag marking an encoded complex array/scalar inside JSON-able state dicts.
+_COMPLEX_TAG = "__complex__"
+
 
 def _plain(value: Any) -> Any:
-    """Recursively convert numpy containers/scalars to JSON-native data."""
+    """Recursively convert numpy containers/scalars to JSON-native data.
+
+    Complex arrays and scalars are encoded as tagged real/imag dicts so
+    checkpoints of wave-function state survive ``json.dumps``; use
+    :func:`revive` to decode them.
+    """
     if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {
+                _COMPLEX_TAG: "array",
+                "real": value.real.tolist(),
+                "imag": value.imag.tolist(),
+            }
         return value.tolist()
+    if isinstance(value, (complex, np.complexfloating)):
+        return {
+            _COMPLEX_TAG: "scalar",
+            "real": float(value.real),
+            "imag": float(value.imag),
+        }
     if isinstance(value, (np.floating, np.integer, np.bool_)):
         return value.item()
     if isinstance(value, tuple):
@@ -29,6 +62,79 @@ def _plain(value: Any) -> Any:
     if isinstance(value, dict):
         return {str(k): _plain(v) for k, v in value.items()}
     return value
+
+
+def revive(value: Any) -> Any:
+    """Inverse of :func:`_plain` for tagged values (complex arrays/scalars).
+
+    Untagged containers are walked recursively; lists stay lists (adapters
+    call ``np.asarray`` on the leaves they own), so round-tripping arbitrary
+    metadata through ``revive`` is safe.
+    """
+    if isinstance(value, dict):
+        tag = value.get(_COMPLEX_TAG)
+        if tag == "array" and set(value) == {_COMPLEX_TAG, "real", "imag"}:
+            return np.asarray(value["real"], dtype=float) + 1j * np.asarray(
+                value["imag"], dtype=float
+            )
+        if tag == "scalar" and set(value) == {_COMPLEX_TAG, "real", "imag"}:
+            return complex(float(value["real"]), float(value["imag"]))
+        return {k: revive(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [revive(v) for v in value]
+    return value
+
+
+@dataclass
+class RunFailure:
+    """The error slot of one failed scenario run in a batch.
+
+    Carries enough provenance to diagnose and retry the run: the scenario
+    name and engine kind, the formatted exception, the traceback text and how
+    many attempts were made.  ``RunFailure`` round-trips through dicts/JSON
+    like :class:`RunResult` so batch reports stay one schema.
+    """
+
+    scenario: str
+    engine: str
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+
+    #: Discriminator shared with RunResult for mixed batch slots.
+    ok = False
+
+    @classmethod
+    def from_exception(cls, scenario: str, engine: str, exc: BaseException,
+                       attempts: int = 1) -> "RunFailure":
+        return cls(
+            scenario=str(scenario),
+            engine=str(engine),
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=int(attempts),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunFailure":
+        return cls(
+            scenario=str(data["scenario"]),
+            engine=str(data.get("engine", "")),
+            error=str(data.get("error", "")),
+            traceback=str(data.get("traceback", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
 
 
 @dataclass
@@ -59,6 +165,9 @@ class RunResult:
     observables: Dict[str, np.ndarray]
     metadata: Dict[str, Any] = field(default_factory=dict)
     timers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    #: Discriminator shared with RunFailure for mixed batch slots.
+    ok = True
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=float)

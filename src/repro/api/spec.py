@@ -272,15 +272,27 @@ class PropagatorSpec(_SpecSection):
 
 @dataclass
 class RuntimeSpec(_SpecSection):
-    """How long to run and how often to record observables."""
+    """How long to run, how often to record, and how often to checkpoint.
+
+    ``checkpoint_every = None`` disables periodic snapshots; any positive
+    value makes :meth:`repro.api.engine.EngineAdapter.run` emit a checkpoint
+    every that many steps (plus one at the final step) whenever the caller
+    provides an ``on_checkpoint`` sink such as
+    :meth:`repro.api.store.CheckpointStore.save`.
+    """
 
     num_steps: int = 10
     record_every: int = 1
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.num_steps = int(self.num_steps)
         self.record_every = int(self.record_every)
         validate_run_args(self.num_steps, self.record_every)
+        if self.checkpoint_every is not None:
+            self.checkpoint_every = int(self.checkpoint_every)
+            if self.checkpoint_every < 1:
+                raise ValueError("runtime.checkpoint_every must be >= 1 (or null)")
 
 
 _SECTION_TYPES = {

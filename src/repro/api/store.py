@@ -1,0 +1,173 @@
+"""On-disk checkpoint persistence for resumable sessions.
+
+A :class:`CheckpointStore` keeps the JSON snapshots emitted by
+:meth:`repro.api.engine.EngineAdapter.checkpoint` under one root directory,
+keyed by scenario name and run id::
+
+    <root>/<scenario>/<run_id>/step-00000040.json
+
+Writes are atomic (temp file + ``os.replace`` in the destination directory),
+so a process killed mid-write never leaves a truncated snapshot behind — the
+property the crash-resume path of :class:`repro.api.executor.ExecutionService`
+relies on.  ``latest()`` returns the highest-step snapshot of a run, which is
+exactly what a restarted worker feeds to ``EngineAdapter.resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.api.engine import CheckpointError
+
+# {8,}: step numbers >= 10^8 spill past the zero-padding; they must still be
+# visible to steps()/latest()/pruning.
+_STEP_FILE = re.compile(r"^step-(\d{8,})\.json$")
+_BAD_KEY = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _key(name: str, what: str) -> str:
+    """Validate a scenario/run-id path component (no separators, non-empty)."""
+    name = str(name)
+    if not name:
+        raise ValueError(f"{what} must be non-empty")
+    if _BAD_KEY.search(name) or name.startswith("."):
+        raise ValueError(
+            f"{what} {name!r} may only contain letters, digits, '.', '_' "
+            "and '-' (and must not start with '.')"
+        )
+    return name
+
+
+class CheckpointStore:
+    """JSON checkpoint files keyed by ``(scenario, run_id)`` with atomic writes.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in; created lazily on first save.
+    keep:
+        When positive, prune each run's directory down to the newest ``keep``
+        snapshots after every save (older snapshots are no longer needed once
+        a later one exists — resume always starts from ``latest()``).  0 keeps
+        everything.
+    """
+
+    def __init__(self, root, keep: int = 0) -> None:
+        self.root = Path(root)
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    def run_dir(self, scenario: str, run_id: str = "default") -> Path:
+        return self.root / _key(scenario, "scenario") / _key(run_id, "run_id")
+
+    def save(self, checkpoint: Dict[str, Any], run_id: str = "default") -> Path:
+        """Atomically persist one checkpoint payload; returns its path.
+
+        The scenario key and the step number are read from the payload
+        itself, so ``functools.partial(store.save, run_id=...)`` (or a
+        lambda) is directly usable as an ``on_checkpoint`` sink.
+        """
+        if "scenario" not in checkpoint or "step" not in checkpoint:
+            raise CheckpointError(
+                "checkpoint payload is missing 'scenario' or 'step'"
+            )
+        step = int(checkpoint["step"])
+        if step < 0:
+            raise CheckpointError("checkpoint step must be >= 0")
+        directory = self.run_dir(str(checkpoint["scenario"]), run_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"step-{step:08d}.json"
+        payload = json.dumps(checkpoint)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-checkpoint-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if self.keep:
+            self._prune(directory)
+        return path
+
+    def _prune(self, directory: Path) -> None:
+        # Sort numerically: past 10^8 the zero-padding overflows and a
+        # lexicographic sort would rank the newest snapshot first.
+        files = sorted(
+            (p for p in directory.iterdir() if _STEP_FILE.match(p.name)),
+            key=lambda p: int(_STEP_FILE.match(p.name).group(1)),
+        )
+        for stale in files[: max(0, len(files) - self.keep)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # concurrent pruning by another worker is benign
+
+    # ------------------------------------------------------------------
+    def steps(self, scenario: str, run_id: str = "default") -> List[int]:
+        """Step numbers with stored snapshots, ascending."""
+        directory = self.run_dir(scenario, run_id)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.iterdir():
+            match = _STEP_FILE.match(path.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def load(self, scenario: str, run_id: str = "default",
+             step: Optional[int] = None) -> Dict[str, Any]:
+        """Load one snapshot (the latest when ``step`` is None)."""
+        if step is None:
+            available = self.steps(scenario, run_id)
+            if not available:
+                raise CheckpointError(
+                    f"no checkpoints stored for scenario {scenario!r} "
+                    f"run {run_id!r} under {self.root}"
+                )
+            step = available[-1]
+        path = self.run_dir(scenario, run_id) / f"step-{int(step):08d}.json"
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {path}") from None
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+
+    def latest(self, scenario: str, run_id: str = "default",
+               ) -> Optional[Dict[str, Any]]:
+        """The highest-step snapshot of a run, or ``None`` when there is none."""
+        available = self.steps(scenario, run_id)
+        if not available:
+            return None
+        return self.load(scenario, run_id, step=available[-1])
+
+    # ------------------------------------------------------------------
+    def scenarios(self) -> List[str]:
+        """Scenario names with at least one stored run directory."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def run_ids(self, scenario: str) -> List[str]:
+        """Run ids stored for one scenario."""
+        directory = self.root / _key(scenario, "scenario")
+        if not directory.is_dir():
+            return []
+        return sorted(p.name for p in directory.iterdir() if p.is_dir())

@@ -140,6 +140,33 @@ class DCMESHSimulation:
             currents[i] = float(np.dot(j_vec, self._polarization))
         return currents
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable multi-domain state: Maxwell fields, sampled A, all domains."""
+        return {
+            "solver": self.coupler.solver.state_dict(),
+            "sampled_a": self._sampled_a.copy(),
+            "domains": [engine.state_dict() for engine in self.domain_engines],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`: restore a snapshot in place."""
+        domains = state["domains"]
+        if len(domains) != self.num_domains:
+            raise ValueError(
+                f"checkpoint has {len(domains)} domain states, "
+                f"expected {self.num_domains}"
+            )
+        sampled_a = np.asarray(state["sampled_a"], dtype=float)
+        if sampled_a.shape != (self.num_domains,):
+            raise ValueError("checkpointed sampled_a does not match the domain count")
+        self.coupler.solver.load_state_dict(state["solver"])
+        self._sampled_a = sampled_a
+        for engine, domain_state in zip(self.domain_engines, domains):
+            engine.load_state_dict(domain_state)
+
     def step_exchange(self) -> np.ndarray:
         """Advance one Maxwell<->TDDFT exchange cycle (Eq. 2 outer step).
 

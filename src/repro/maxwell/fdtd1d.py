@@ -80,6 +80,30 @@ class Maxwell1D:
         return -(self.a_curr - self.a_prev) / (SPEED_OF_LIGHT_AU * self.dt)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The leapfrog state: both field levels and the clock."""
+        return {
+            "time": float(self._time),
+            "a_curr": self.a_curr.copy(),
+            "a_prev": self.a_prev.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`: restore a snapshot in place."""
+        a_curr = np.asarray(state["a_curr"], dtype=float)
+        a_prev = np.asarray(state["a_prev"], dtype=float)
+        if a_curr.shape != (self.num_points,) or a_prev.shape != (self.num_points,):
+            raise ValueError(
+                f"checkpointed fields must have shape ({self.num_points},), "
+                f"got {a_curr.shape} and {a_prev.shape}"
+            )
+        self.a_curr = a_curr
+        self.a_prev = a_prev
+        self._time = float(state["time"])
+
+    # ------------------------------------------------------------------
     def inject_pulse(self, pulse, entry_index: int = 0) -> Callable[[float], float]:
         """Return a source callback that drives grid point ``entry_index``.
 

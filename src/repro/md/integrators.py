@@ -71,6 +71,14 @@ class VelocityVerlet:
     def time(self) -> float:
         return self._time
 
+    def state_dict(self, atoms: AtomsSystem) -> dict:
+        """Mutable NVE state: the phase-space point and the clock."""
+        return _md_state_dict(self, atoms)
+
+    def load_state_dict(self, atoms: AtomsSystem, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; forces are recomputed lazily."""
+        _md_load_state_dict(self, atoms, state)
+
     def _ensure_forces(self, atoms: AtomsSystem) -> np.ndarray:
         if self._forces is None or self._forces.shape[0] != atoms.n_atoms:
             _, self._forces = self.force_field.compute(atoms, self.neighbor_list)
@@ -144,6 +152,19 @@ class LangevinIntegrator:
     def time(self) -> float:
         return self._time
 
+    def state_dict(self, atoms: AtomsSystem) -> dict:
+        """Mutable thermostatted state: phase space, clock, RNG stream."""
+        state = _md_state_dict(self, atoms)
+        state["rng_state"] = self.rng.bit_generator.state
+        return state
+
+    def load_state_dict(self, atoms: AtomsSystem, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; restores the thermostat RNG stream
+        so a resumed trajectory draws exactly the kicks the uninterrupted one
+        would."""
+        _md_load_state_dict(self, atoms, state)
+        self.rng.bit_generator.state = state["rng_state"]
+
     def step(self, atoms: AtomsSystem, num_steps: int = 1) -> MDSnapshot:
         """Advance ``atoms`` by ``num_steps`` Langevin steps."""
         validate_run_args(num_steps)
@@ -181,3 +202,38 @@ class LangevinIntegrator:
         self._forces = forces
         assert snapshot is not None
         return snapshot
+
+    def run(self, atoms: AtomsSystem, num_steps: int) -> List[MDSnapshot]:
+        """Run ``num_steps`` steps and return the recorded snapshots."""
+        start = len(self.history)
+        self.step(atoms, num_steps)
+        return self.history[start:]
+
+
+# ----------------------------------------------------------------------
+# Shared checkpoint plumbing for both integrators
+# ----------------------------------------------------------------------
+def _md_state_dict(integrator, atoms: AtomsSystem) -> dict:
+    return {
+        "time": float(integrator._time),
+        "positions": atoms.positions.copy(),
+        "velocities": atoms.velocities.copy(),
+    }
+
+
+def _md_load_state_dict(integrator, atoms: AtomsSystem, state: dict) -> None:
+    positions = np.asarray(state["positions"], dtype=float)
+    velocities = np.asarray(state["velocities"], dtype=float)
+    if positions.shape != atoms.positions.shape:
+        raise ValueError(
+            f"checkpointed positions have shape {positions.shape}, "
+            f"expected {atoms.positions.shape}"
+        )
+    if velocities.shape != atoms.velocities.shape:
+        raise ValueError("checkpointed velocities do not match the atom count")
+    atoms.positions[...] = positions
+    atoms.velocities[...] = velocities
+    # Forces are a pure function of the restored positions; recompute lazily.
+    integrator._forces = None
+    integrator._time = float(state["time"])
+    integrator.history.clear()

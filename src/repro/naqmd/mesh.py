@@ -130,6 +130,57 @@ class MESHIntegrator:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable MESH state: ions, electronic state, FSSH bookkeeping."""
+        state = {
+            "time": float(self._time),
+            "positions": self.positions.copy(),
+            "velocities": self.velocities.copy(),
+            "tddft": self.tddft.state_dict(),
+            "surface_hopping": None,
+        }
+        if self.surface_hopping is not None:
+            state["surface_hopping"] = self.surface_hopping.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`: restore a snapshot in place.
+
+        The shadow-dynamics external potential and the mean-field forces are
+        functions of the restored ions/density, so they are recomputed rather
+        than stored; the per-step ``history`` belongs to the interrupted
+        driver and is cleared.
+        """
+        positions = np.asarray(state["positions"], dtype=float).reshape(-1, 3)
+        velocities = np.asarray(state["velocities"], dtype=float).reshape(-1, 3)
+        if positions.shape != self.positions.shape:
+            raise ValueError(
+                f"checkpointed positions have shape {positions.shape}, "
+                f"expected {self.positions.shape}"
+            )
+        if velocities.shape != self.velocities.shape:
+            raise ValueError("checkpointed velocities do not match the ion count")
+        self.positions = positions
+        self.velocities = velocities
+        self.tddft.hamiltonian.external_potential = self.forces.external_potential(
+            self.positions
+        )
+        self.tddft.load_state_dict(state["tddft"])
+        sh_state = state.get("surface_hopping")
+        if self.surface_hopping is not None:
+            if sh_state is None:
+                raise ValueError(
+                    "checkpoint has no surface-hopping state but the "
+                    "integrator runs FSSH"
+                )
+            self.surface_hopping.load_state_dict(sh_state)
+        self._current_forces = self._compute_forces()
+        self._time = float(state["time"])
+        self.history.clear()
+
+    # ------------------------------------------------------------------
     def step(self) -> MESHStepResult:
         """Advance the coupled system by one MD step."""
         dt = self.md_dt

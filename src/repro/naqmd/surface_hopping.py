@@ -80,6 +80,33 @@ class SurfaceHopping:
         return np.abs(self.amplitudes) ** 2
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable FSSH state: amplitudes, active surface, RNG stream."""
+        return {
+            "active_state": int(self.active_state),
+            "amplitudes": self.amplitudes.copy(),
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; restores the stochastic stream so a
+        resumed trajectory draws exactly the hops the uninterrupted one would."""
+        amplitudes = np.asarray(state["amplitudes"], dtype=np.complex128)
+        if amplitudes.shape != self.amplitudes.shape:
+            raise ValueError(
+                f"checkpointed amplitudes have shape {amplitudes.shape}, "
+                f"expected {self.amplitudes.shape}"
+            )
+        active = int(state["active_state"])
+        if not (0 <= active < self.n_states):
+            raise ValueError("checkpointed active_state out of range")
+        self.amplitudes = amplitudes
+        self.active_state = active
+        self.rng.bit_generator.state = state["rng_state"]
+
+    # ------------------------------------------------------------------
     def _propagate_amplitudes(self, coupling: np.ndarray, dt: float) -> None:
         """Evolve amplitudes under H_ij = eps_i delta_ij - i hbar d_ij."""
         n = self.n_states

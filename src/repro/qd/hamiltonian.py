@@ -113,6 +113,38 @@ class LocalHamiltonian:
         return self.external_potential + self.hartree + self.xc_potential
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def potentials_state(self) -> dict:
+        """The mutable density-dependent potentials as a snapshot dict.
+
+        ``update_potentials`` refreshes these only every few propagation steps
+        (the shadow-dynamics amortisation), so a mid-run restore cannot simply
+        recompute them from the instantaneous density — they are checkpointed
+        verbatim instead.
+        """
+        return {
+            "hartree": self.hartree.copy(),
+            "xc_potential": self.xc_potential.copy(),
+            "xc_energy_density": self._xc_energy_density.copy(),
+        }
+
+    def load_potentials_state(self, state: dict) -> None:
+        """Inverse of :meth:`potentials_state`."""
+        loaded = {}
+        for name in ("hartree", "xc_potential", "xc_energy_density"):
+            value = np.asarray(state[name], dtype=float)
+            if value.shape != self.grid.shape:
+                raise ValueError(
+                    f"checkpointed {name} has shape {value.shape}, "
+                    f"expected {self.grid.shape}"
+                )
+            loaded[name] = value
+        self.hartree = loaded["hartree"]
+        self.xc_potential = loaded["xc_potential"]
+        self._xc_energy_density = loaded["xc_energy_density"]
+
+    # ------------------------------------------------------------------
     # Operator application
     # ------------------------------------------------------------------
     def apply_kinetic(self, psi: np.ndarray,

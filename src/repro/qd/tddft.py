@@ -170,6 +170,41 @@ class RealTimeTDDFT:
             if self.occupation_decoherence_rate > 0.0:
                 self._update_occupations()
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the mutable electronic state (JSON-able via
+        :func:`repro.api.result._plain`).
+
+        Covers everything :meth:`step` mutates: the propagated orbitals, the
+        occupations, the density-dependent potentials and the clock.  The
+        reference orbitals, the kinetic propagator and the occupation baseline
+        are reconstructed deterministically by the owning builder, so they are
+        deliberately not part of the snapshot.
+        """
+        return {
+            "time": float(self._time),
+            "psi": self.wavefunctions.psi.copy(),
+            "occupations": self.occupations.occupations.copy(),
+            "potentials": self.hamiltonian.potentials_state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`: restore a snapshot in place."""
+        psi = np.asarray(state["psi"], dtype=np.complex128)
+        if psi.shape != self.wavefunctions.psi.shape:
+            raise ValueError(
+                f"checkpointed psi has shape {psi.shape}, "
+                f"expected {self.wavefunctions.psi.shape}"
+            )
+        self.wavefunctions.psi[...] = psi
+        self.occupations.set_occupations(
+            np.asarray(state["occupations"], dtype=float)
+        )
+        self.hamiltonian.load_potentials_state(state["potentials"])
+        self._time = float(state["time"])
+
     def _update_occupations(self) -> None:
         """Perturbative occupation update from projections on the reference.
 

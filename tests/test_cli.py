@@ -85,3 +85,83 @@ def test_bad_override_fails_cleanly():
 def test_main_inprocess(argv, expected, capsys):
     assert main(argv) == expected
     capsys.readouterr()  # drain
+
+def test_version_flag():
+    proc = run_cli("--version")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip().startswith("repro ")
+    version = proc.stdout.strip().split()[1]
+    # Must be the real pyproject version, not the '0+unknown' fallback.
+    import re
+    assert re.fullmatch(r"\d+\.\d+\.\d+", version), version
+
+
+def test_run_checkpoint_and_resume(tmp_path):
+    store_dir = tmp_path / "ckpts"
+    first = run_cli(
+        "run", "maxwell-vacuum", "--steps", "4", "--quiet",
+        "--checkpoint-dir", str(store_dir), "--checkpoint-every", "2",
+    )
+    assert first.returncode == 0, first.stderr
+    snapshots = sorted(p.name for p in (store_dir / "maxwell-vacuum" / "default").iterdir())
+    assert snapshots == ["step-00000002.json", "step-00000004.json"]
+
+    out = tmp_path / "resumed.json"
+    second = run_cli(
+        "run", "maxwell-vacuum", "--steps", "8",
+        "--checkpoint-dir", str(store_dir), "--resume", "--json", str(out),
+    )
+    assert second.returncode == 0, second.stderr
+    assert "resumed  : from step 4" in second.stdout
+    result = RunResult.from_dict(json.loads(out.read_text()))
+    assert result.metadata["executor"]["resumed_from_step"] == 4
+    assert result.times[-1] == pytest.approx(8.0)
+
+
+def test_resume_requires_checkpoint_dir():
+    proc = run_cli("run", "maxwell-vacuum", "--resume")
+    assert proc.returncode == 2
+    assert "--resume requires --checkpoint-dir" in proc.stderr
+
+
+def test_batch_command_merges_outcomes(tmp_path):
+    out = tmp_path / "batch.json"
+    proc = run_cli(
+        "batch", "maxwell-vacuum", "md-nve",
+        "--set", "runtime.num_steps=3",
+        "--set", "material.repeats=[1,1,1]",
+        "--workers", "0", "--json", str(out),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "maxwell-vacuum" in proc.stdout and "md-nve" in proc.stdout
+    outcomes = json.loads(out.read_text())
+    assert [o["scenario"] for o in outcomes] == ["maxwell-vacuum", "md-nve"]
+    for outcome in outcomes:
+        RunResult.from_dict(outcome)  # every slot is a full RunResult
+
+
+def test_batch_reports_partial_failure(tmp_path):
+    out = tmp_path / "batch.json"
+    # Overriding the pulse away breaks dcmesh-pulse but not maxwell-vacuum.
+    proc = run_cli(
+        "batch", "maxwell-vacuum", "dcmesh-pulse",
+        "--set", "runtime.num_steps=2",
+        "--set", "pulse.kind=none",
+        "--workers", "0", "--max-retries", "0", "--json", str(out),
+    )
+    assert proc.returncode == 1
+    assert "FAILED" in proc.stdout
+    outcomes = json.loads(out.read_text())
+    assert "error" in outcomes[1] and "pulse" in outcomes[1]["error"]
+
+
+def test_batch_without_scenarios_fails_cleanly():
+    proc = run_cli("batch")
+    assert proc.returncode == 2
+    assert "batch needs scenario names" in proc.stderr
+
+
+def test_batch_resume_requires_checkpoint_dir():
+    proc = run_cli("batch", "maxwell-vacuum", "--resume")
+    assert proc.returncode == 2
+    assert "--resume requires --checkpoint-dir" in proc.stderr
