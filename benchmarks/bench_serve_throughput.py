@@ -1,0 +1,132 @@
+"""Benchmark the serving daemon: warm worker pool vs. cold pool-per-request.
+
+The point of ``repro serve`` is amortisation: one persistent
+:class:`~repro.api.executor.WorkerPool` (and the per-worker
+:class:`~repro.perf.workspace.KernelWorkspace` caches inside it) survives
+across submissions, so a request pays neither process spin-up nor
+phase-cache rebuilds.  This benchmark measures exactly that delta:
+
+* **warm** — one in-process :class:`~repro.api.ScenarioServer` (1 worker),
+  ``N`` submissions through the real HTTP client, submissions/second;
+* **cold** — the same ``N`` runs, but each one on a freshly created (and
+  immediately torn down) single-worker pool: the pool-per-request pattern
+  the daemon replaces.
+
+Two workloads: ``maxwell-vacuum`` (trivial physics — the measurement is pure
+serving overhead) and a shrunk ``quickstart-tddft`` (the kinetic-phase cache
+also carries across submissions).  Writes
+``results/BENCH_serve_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from common import print_table, write_result
+
+from repro.api import ScenarioServer, ServeClient, WorkerPool, default_registry
+from repro.api.executor import execute_payload
+
+WORKLOADS = {
+    "maxwell-vacuum": {"runtime.num_steps": 5},
+    "quickstart-tddft": {
+        "runtime.num_steps": 5,
+        "material.scf_max_iterations": 10,
+    },
+}
+
+
+def _spec(name: str):
+    return default_registry().get(name).with_overrides(WORKLOADS[name])
+
+
+def bench_warm(name: str, submissions: int) -> dict:
+    spec = _spec(name)
+    with tempfile.TemporaryDirectory() as root:
+        with ScenarioServer(root, port=0, workers=1) as server:
+            client = ServeClient(port=server.port, timeout=120.0)
+            # Untimed first submission: pays the one-time pool + cache warmup
+            # every later request gets for free.  A tight poll keeps the
+            # measurement about the daemon, not the client's poll interval.
+            client.wait(client.submit(spec)["run_id"], timeout=300, poll=0.002)
+            start = time.perf_counter()
+            for _ in range(submissions):
+                client.wait(client.submit(spec)["run_id"], timeout=300,
+                            poll=0.002)
+            elapsed = time.perf_counter() - start
+            generations = server.pool.generations
+    return {
+        "mode": "warm daemon",
+        "scenario": name,
+        "submissions": submissions,
+        "total_s": elapsed,
+        "per_run_ms": 1e3 * elapsed / submissions,
+        "runs_per_s": submissions / elapsed,
+        "pool_generations": generations,
+    }
+
+
+def bench_cold(name: str, submissions: int) -> dict:
+    spec = _spec(name)
+    payload = {"index": 0, "spec": spec.to_dict(), "run_id": "cold",
+               "checkpoint_dir": None, "checkpoint_every": None, "keep": 0,
+               "resume": False, "attempt": 1}
+    start = time.perf_counter()
+    for _ in range(submissions):
+        with WorkerPool(1) as pool:
+            outcome = pool.submit(payload).result()
+            assert "ok" in outcome
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": "cold pool-per-run",
+        "scenario": name,
+        "submissions": submissions,
+        "total_s": elapsed,
+        "per_run_ms": 1e3 * elapsed / submissions,
+        "runs_per_s": submissions / elapsed,
+        "pool_generations": submissions,
+    }
+
+
+def bench_inline(name: str, submissions: int) -> dict:
+    """Lower bound: the bare engine work, no pool and no wire."""
+    spec = _spec(name)
+    payload = {"index": 0, "spec": spec.to_dict(), "run_id": "inline",
+               "checkpoint_dir": None, "checkpoint_every": None, "keep": 0,
+               "resume": False, "attempt": 1}
+    execute_payload(payload)  # warm the process-local workspace
+    start = time.perf_counter()
+    for _ in range(submissions):
+        assert "ok" in execute_payload(payload)
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": "inline (no pool)",
+        "scenario": name,
+        "submissions": submissions,
+        "total_s": elapsed,
+        "per_run_ms": 1e3 * elapsed / submissions,
+        "runs_per_s": submissions / elapsed,
+        "pool_generations": 0,
+    }
+
+
+def main(submissions: int = 20) -> None:
+    rows = []
+    for name in WORKLOADS:
+        cold = bench_cold(name, submissions)
+        warm = bench_warm(name, submissions)
+        inline = bench_inline(name, submissions)
+        warm["speedup_vs_cold"] = cold["per_run_ms"] / warm["per_run_ms"]
+        rows += [cold, warm, inline]
+    print_table(
+        "serve throughput: warm daemon vs cold pool-per-run",
+        ["scenario", "mode", "per_run_ms", "runs_per_s", "speedup_vs_cold"],
+        rows,
+    )
+    path = write_result("BENCH_serve_throughput", {"rows": rows})
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

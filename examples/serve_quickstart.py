@@ -1,0 +1,52 @@
+"""Serving quickstart: a warm daemon answering scenario submissions.
+
+Starts an in-process :class:`~repro.api.ScenarioServer` (the same object
+``python -m repro serve`` runs as a standalone daemon), submits two runs over
+the real HTTP wire, streams one run's checkpoint events, and shows the
+warm-pool effect: both runs execute on the *same* persistent worker process.
+
+The equivalent from three shells::
+
+    python -m repro serve --port 8642 --workers 1 --checkpoint-dir serve-state
+    python -m repro submit quickstart-tddft --set runtime.num_steps=120 --wait
+    python -m repro status && python -m repro shutdown
+"""
+
+import tempfile
+
+from repro.api import ScenarioServer, ServeClient
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root, \
+            ScenarioServer(root, port=0, workers=1) as server:
+        client = ServeClient(port=server.port)
+        print(f"daemon listening on 127.0.0.1:{server.port} "
+              f"(workers: {server.pool.workers})")
+
+        first = client.submit("quickstart-tddft",
+                              overrides={"runtime.num_steps": 120},
+                              checkpoint_every=40)
+        print(f"submitted {first['scenario']!r} as run {first['run_id']}")
+        for event in client.events(first["run_id"]):
+            if event["event"] == "checkpoint":
+                print(f"  checkpoint at step {event['step']}")
+            elif event["event"] in ("done", "failed"):
+                print(f"  -> {event['event']}")
+
+        second = client.submit("maxwell-vacuum",
+                               overrides={"runtime.num_steps": 40})
+        client.wait(second["run_id"], timeout=120)
+
+        results = [client.result(ack["run_id"]) for ack in (first, second)]
+        pids = {r.metadata["executor"]["worker_pid"] for r in results}
+        for result in results:
+            print(f"{result.scenario:<18} {result.num_records} records to "
+                  f"t = {result.times[-1]:.4g} "
+                  f"(worker pid {result.metadata['executor']['worker_pid']})")
+        print(f"distinct worker pids across submissions: {len(pids)} "
+              "(the pool stays warm between requests)")
+
+
+if __name__ == "__main__":
+    main()

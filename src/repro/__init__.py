@@ -10,8 +10,11 @@ divide-conquer-recombine / metamodel-space-algebra orchestration lives in
 scaling studies live in :mod:`repro.perf` and :mod:`repro.parallel`.
 
 The declarative front door over all of those engines is :mod:`repro.api`:
-``ScenarioSpec`` configs, the unified ``Engine`` protocol, named scenarios and
-the ``python -m repro run <scenario> [--set key=value]`` command-line runner.
+``ScenarioSpec`` configs, the unified ``Engine`` protocol, named scenarios,
+the ``python -m repro run <scenario> [--set key=value]`` command-line runner,
+the process-parallel ``ExecutionService`` batch executor and the long-lived
+``repro serve`` daemon (warm worker pools, durable submission journal,
+checkpoint streaming, crash-resume on restart).
 
 Subpackages are imported lazily so light-weight users (for example, someone
 who only needs the topology analysis) do not pay for the whole stack.

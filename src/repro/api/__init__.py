@@ -14,15 +14,23 @@
 * :mod:`repro.api.registry` — named scenarios, :func:`run_scenario` and the
   shared-workspace :class:`BatchRunner`.
 * :mod:`repro.api.executor` — the process-parallel :class:`ExecutionService`
-  work-queue executor with checkpoint-based crash recovery.
+  work-queue executor with checkpoint-based crash recovery, built on the
+  persistent :class:`WorkerPool` lifecycle object.
+* :mod:`repro.api.server`   — the long-lived :class:`ScenarioServer` daemon
+  (``repro serve``): warm worker pool across requests, durable submission
+  journal, NDJSON checkpoint streaming, crash-resume on restart.
+* :mod:`repro.api.client`   — :class:`ServeClient`, the stdlib-HTTP client
+  of the daemon.
 * :mod:`repro.api.cli`      — the ``python -m repro`` command-line runner.
 """
 
 from repro.api.adapters import ADAPTERS, build_engine
+from repro.api.client import ServeClient, ServeError, ServeUnavailable
 from repro.api.engine import (
     CHECKPOINT_FORMAT, CheckpointError, Engine, EngineAdapter,
 )
-from repro.api.executor import ExecutionService
+from repro.api.executor import ExecutionService, WorkerPool
+from repro.api.server import ScenarioServer
 from repro.api.registry import (
     BatchRunner, ScenarioRegistry, default_registry, run_scenario,
 )
@@ -51,7 +59,12 @@ __all__ = [
     "RunResult",
     "RuntimeSpec",
     "ScenarioRegistry",
+    "ScenarioServer",
     "ScenarioSpec",
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailable",
+    "WorkerPool",
     "build_engine",
     "default_registry",
     "parse_assignments",

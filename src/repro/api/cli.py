@@ -18,6 +18,16 @@ Subcommands
     :class:`~repro.api.executor.ExecutionService` — sharded across worker
     processes, failures isolated per run, crashed runs resumed from their
     snapshots when checkpointing is enabled.
+``serve --port P --workers N --checkpoint-dir DIR``
+    Run the long-lived :class:`~repro.api.server.ScenarioServer` daemon:
+    warm worker pool across requests, durable submission journal, graceful
+    drain on SIGTERM, crash-resume on restart.
+``submit <scenario> [--set key=value ...] [--wait]``
+    Queue a run on a daemon; ``--wait`` blocks until it finishes and prints
+    the usual run summary.
+``status [run-id]`` / ``fetch <run-id> [--json PATH]`` / ``shutdown``
+    Poll one run (or all of them), download a finished
+    :class:`~repro.api.result.RunResult`, or stop the daemon.
 
 Examples
 --------
@@ -29,6 +39,9 @@ Examples
     python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --checkpoint-every 25
     python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --resume
     python -m repro batch --all --workers 4 --json batch.json
+    python -m repro serve --port 8642 --workers 4 --checkpoint-dir serve-state
+    python -m repro submit maxwell-vacuum --set runtime.num_steps=30 --wait
+    python -m repro status && python -m repro fetch r000000 --json out.json
 """
 
 from __future__ import annotations
@@ -38,10 +51,12 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api.client import ServeClient, ServeError, ServeUnavailable
 from repro.api.engine import CheckpointError
 from repro.api.executor import ExecutionService
 from repro.api.registry import default_registry
 from repro.api.result import RunResult
+from repro.api.server import DEFAULT_PORT, ScenarioServer
 from repro.api.spec import ScenarioSpec, parse_assignments
 from repro.api.store import CheckpointStore
 
@@ -56,6 +71,13 @@ def _add_override_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         metavar="KEY=VALUE",
                         help="dotted-path spec override, e.g. runtime.num_steps=5")
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="daemon address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="P",
+                        help=f"daemon port (default {DEFAULT_PORT})")
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -118,6 +140,78 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--quiet", action="store_true",
                        help="suppress the per-run summary table")
     _add_checkpoint_args(batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived scenario daemon (warm worker pool, durable "
+             "queue, crash-resume on restart)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="P",
+                       help=f"TCP port (default {DEFAULT_PORT}; 0 = pick a "
+                            "free one)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="persistent worker process count (0 = inline, "
+                            "default 1)")
+    serve.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                       help="state root: checkpoint store, submission journal "
+                            "and persisted results (makes the daemon "
+                            "restartable)")
+    serve.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="default snapshot cadence for submissions that "
+                            "do not name one")
+    serve.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="bound of the FIFO submission queue (default 64)")
+    serve.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="per-run resume-from-snapshot retries (default 1)")
+    serve.add_argument("--keep", type=int, default=0, metavar="N",
+                       help="snapshots retained per run (0 = all)")
+
+    submit = sub.add_parser("submit", help="queue a run on a serve daemon")
+    submit.add_argument("scenario", help="registered scenario name")
+    _add_override_args(submit)
+    _add_client_args(submit)
+    submit.add_argument("--run-id", default=None, metavar="ID",
+                        help="run id to request (default: daemon-assigned)")
+    submit.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N", help="snapshot cadence for this run")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the run finishes and print its "
+                             "summary")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up on --wait after S seconds")
+    submit.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                        help="with --wait: write the RunResult JSON to PATH "
+                             "('-' = stdout)")
+    submit.add_argument("--quiet", action="store_true",
+                        help="print only the run id")
+
+    status = sub.add_parser("status", help="poll a serve daemon's runs")
+    status.add_argument("run_id", nargs="?", default=None,
+                        help="run id (default: list every run + health)")
+    _add_client_args(status)
+    status.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                        help="write the status JSON to PATH ('-' = stdout)")
+
+    fetch = sub.add_parser("fetch", help="download one finished run's result")
+    fetch.add_argument("run_id", help="run id to fetch")
+    _add_client_args(fetch)
+    fetch.add_argument("--wait", action="store_true",
+                       help="poll until the run finishes instead of failing "
+                            "while it is pending")
+    fetch.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="give up on --wait after S seconds")
+    fetch.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                       help="write the RunResult JSON to PATH ('-' = stdout)")
+    fetch.add_argument("--quiet", action="store_true",
+                       help="suppress the human-readable summary")
+
+    shutdown = sub.add_parser("shutdown", help="stop a serve daemon")
+    _add_client_args(shutdown)
+    shutdown.add_argument("--no-drain", action="store_true",
+                          help="do not wait for in-flight runs (they resume "
+                               "from their snapshots on the next daemon)")
     return parser
 
 
@@ -178,11 +272,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.scenario, overrides)
     if args.resume and not args.checkpoint_dir:
         raise ValueError("--resume requires --checkpoint-dir")
-    if args.resume and not args.quiet:
-        latest = CheckpointStore(args.checkpoint_dir).latest(spec.name, args.run_id)
-        if latest is None:
-            print(f"no snapshot for {spec.name!r} run {args.run_id!r}; "
-                  "starting fresh")
+    if args.resume:
+        # Existence check only (steps() is a directory scan): checkpoints are
+        # complete sessions and can be large — the executor parses the real
+        # payload exactly once, on the resume path itself.
+        if not CheckpointStore(args.checkpoint_dir).steps(spec.name, args.run_id):
+            raise ValueError(
+                f"--resume: no checkpoint for scenario {spec.name!r} run "
+                f"{args.run_id!r} under {args.checkpoint_dir!r}; drop "
+                "--resume to start fresh"
+            )
 
     # A single run is a one-spec batch through the inline executor, which
     # owns all the checkpoint-store / resume bookkeeping.
@@ -247,21 +346,127 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = ScenarioServer(
+        root=args.checkpoint_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        checkpoint_every=args.checkpoint_every,
+        max_retries=args.max_retries,
+        keep=args.keep,
+    )
+    server.start()
+    # The flush matters: supervisors (and the test harness) parse this line
+    # from a pipe to learn the bound port before the first submission.
+    print(f"repro serve: listening on {server.host}:{server.port} "
+          f"(workers: {server.pool.workers}, state: {server.root})",
+          flush=True)
+    server.serve_forever()  # installs SIGTERM/SIGINT drain, blocks until stopped
+    return 0
+
+
+def _client(args: argparse.Namespace) -> ServeClient:
+    return ServeClient(host=args.host, port=args.port)
+
+
+def _print_outcome(outcome, args) -> int:
+    if not outcome.ok:
+        print(f"error: run failed after {outcome.attempts} attempt(s): "
+              f"{outcome.error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        _print_run_summary(outcome)
+    if getattr(args, "json_path", None):
+        _write_json(outcome.to_json(), args.json_path, args.quiet)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.scenario, args.overrides)
+    client = _client(args)
+    ack = client.submit(spec, run_id=args.run_id,
+                        checkpoint_every=args.checkpoint_every)
+    run_id = ack["run_id"]
+    if args.quiet:
+        print(run_id)
+    else:
+        print(f"submitted {args.scenario} as run {run_id} "
+              f"(queue position {ack.get('position', '?')})")
+    if not args.wait:
+        return 0
+    outcome = client.wait(run_id, timeout=args.timeout)
+    return _print_outcome(outcome, args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.run_id is not None:
+        record = client.status(args.run_id)
+        payload = record
+        if args.json_path is None:
+            for key in ("run_id", "scenario", "engine", "status", "attempts",
+                        "worker_pid", "resumed_from_step", "error"):
+                if record.get(key) is not None:
+                    print(f"  {key:<18} {record[key]}")
+    else:
+        health = client.health()
+        runs = client.runs()
+        payload = {"health": health, "runs": runs}
+        if args.json_path is None:
+            print(f"daemon at {args.host}:{args.port}: "
+                  f"{health['queued']} queued, {health['running']} running, "
+                  f"{health['done']} done, {health['failed']} failed "
+                  f"(workers: {health['workers']}, "
+                  f"uptime: {health['uptime_s']:.0f}s)")
+            for record in runs:
+                print(f"  {record['run_id']:<12} {record['scenario']:<22} "
+                      f"{record['status']}")
+    if args.json_path is not None:
+        _write_json(json.dumps(payload, indent=2), args.json_path, quiet=True)
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.wait:
+        outcome = client.wait(args.run_id, timeout=args.timeout)
+    else:
+        outcome = client.result(args.run_id)
+    return _print_outcome(outcome, args)
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    ack = _client(args).shutdown(drain=not args.no_drain)
+    print(f"daemon at {args.host}:{args.port} stopping "
+          f"({'draining in-flight runs' if ack.get('draining') else 'immediate'})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    commands = {
+        "list": lambda: _cmd_list(),
+        "show": lambda: _cmd_show(args),
+        "batch": lambda: _cmd_batch(args),
+        "run": lambda: _cmd_run(args),
+        "serve": lambda: _cmd_serve(args),
+        "submit": lambda: _cmd_submit(args),
+        "status": lambda: _cmd_status(args),
+        "fetch": lambda: _cmd_fetch(args),
+        "shutdown": lambda: _cmd_shutdown(args),
+    }
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "show":
-            return _cmd_show(args)
-        if args.command == "batch":
-            return _cmd_batch(args)
-        return _cmd_run(args)
+        return commands[args.command]()
     except (KeyError, ValueError, CheckpointError) as exc:
         # str(KeyError) is the repr of its message; unwrap for clean output.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except (ServeError, ServeUnavailable, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -1,0 +1,228 @@
+"""Python client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the daemon's newline-delimited-JSON-over-HTTP
+protocol (see :mod:`repro.api.server`) with nothing but the stdlib
+``http.client``:
+
+* :meth:`submit` posts a :class:`~repro.api.spec.ScenarioSpec` (or a
+  registered scenario name plus overrides) and returns the assigned run id;
+* :meth:`status` / :meth:`runs` poll run records;
+* :meth:`events` streams the daemon's NDJSON checkpoint/status events line by
+  line as dicts;
+* :meth:`result` / :meth:`wait` fetch the final outcome, decoded back into
+  the same :class:`~repro.api.result.RunResult` /
+  :class:`~repro.api.result.RunFailure` objects the in-process
+  :class:`~repro.api.registry.BatchRunner` returns — by construction the
+  daemon's results are bit-identical to inline execution, so callers can
+  treat the wire as transparent.
+
+Errors the daemon refuses (bad spec, unknown run id, full queue) surface as
+:class:`ServeError` with the HTTP status attached; a daemon that cannot be
+reached at all raises :class:`ServeUnavailable`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.api.result import RunFailure, RunResult
+from repro.api.server import API_PREFIX, DEFAULT_PORT
+from repro.api.spec import ScenarioSpec
+
+#: One finished run, as returned by :meth:`ServeClient.result`.
+ServeOutcome = Union[RunResult, RunFailure]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class ServeUnavailable(ConnectionError):
+    """No daemon is reachable at the configured address."""
+
+
+class ServeClient:
+    """Talk to one :class:`~repro.api.server.ScenarioServer` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 30.0) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self, timeout: Optional[float] = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body)
+            headers["Content-Type"] = "application/json"
+        connection = self._connect()
+        try:
+            connection.request(method, API_PREFIX + path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServeUnavailable(
+                f"no repro daemon reachable at {self.host}:{self.port} ({exc})"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                response.status, f"daemon sent unparsable JSON: {exc}"
+            ) from exc
+        if response.status >= 400:
+            raise ServeError(
+                response.status,
+                str(decoded.get("error", f"HTTP {response.status}")),
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Protocol surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def scenarios(self) -> List[str]:
+        return list(self._request("GET", "/scenarios")["scenarios"])
+
+    def submit(self, spec: Union[ScenarioSpec, Dict[str, Any], str],
+               overrides: Optional[Dict[str, Any]] = None,
+               run_id: Optional[str] = None,
+               checkpoint_every: Optional[int] = None) -> Dict[str, Any]:
+        """Queue one run; returns the daemon's ack (run_id, position, ...).
+
+        ``spec`` may be a full :class:`ScenarioSpec` (or its dict form) or a
+        registered scenario *name*, optionally with dotted-path ``overrides``
+        that the daemon applies server-side.
+        """
+        body: Dict[str, Any] = {}
+        if isinstance(spec, ScenarioSpec):
+            body["spec"] = spec.to_dict()
+        elif isinstance(spec, dict):
+            body["spec"] = spec
+        else:
+            body["scenario"] = str(spec)
+        if overrides:
+            if "spec" in body:
+                body["spec"] = ScenarioSpec.from_dict(
+                    body["spec"]
+                ).with_overrides(overrides).to_dict()
+            else:
+                body["overrides"] = dict(overrides)
+        if run_id is not None:
+            body["run_id"] = str(run_id)
+        if checkpoint_every is not None:
+            body["checkpoint_every"] = int(checkpoint_every)
+        return self._request("POST", "/runs", body=body)
+
+    def runs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/runs")["runs"])
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/runs/{run_id}")
+
+    def result(self, run_id: str) -> ServeOutcome:
+        """The finished outcome, decoded; raises :class:`ServeError` (409)
+        while the run is still queued or running."""
+        payload = self._request("GET", f"/runs/{run_id}/result")
+        return self.decode_outcome(payload)
+
+    @staticmethod
+    def decode_outcome(payload: Dict[str, Any]) -> ServeOutcome:
+        if "ok" in payload:
+            return RunResult.from_dict(payload["ok"])
+        if "failure" in payload:
+            return RunFailure.from_dict(payload["failure"])
+        raise ServeError(500, f"malformed outcome payload: {sorted(payload)}")
+
+    def wait(self, run_id: str, timeout: Optional[float] = None,
+             poll: float = 0.1) -> ServeOutcome:
+        """Poll until the run finishes; returns the decoded outcome."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.status(run_id)
+            if record["status"] in ("done", "failed"):
+                return self.result(run_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {run_id!r} still {record['status']} after {timeout} s"
+                )
+            time.sleep(poll)
+
+    def events(self, run_id: str, from_step: int = 0,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Stream the run's NDJSON events; terminates on done/failed.
+
+        The final event carries the persisted outcome under ``"outcome"``
+        (decode it with :meth:`decode_outcome` if needed), so consuming the
+        stream to its end observes the complete run without extra polling.
+        Quiet stretches carry periodic ``{"event": "ping"}`` keepalives from
+        the daemon — filter by event type.  ``timeout`` here bounds the gap
+        *between lines* (default: twice the daemon's keepalive cadence), not
+        the stream's total duration.
+        """
+        if timeout is None:
+            # The daemon pings every ~10 s on quiet streams; anything beyond
+            # two missed keepalives means the connection really is dead.
+            timeout = max(self.timeout, 30.0)
+        connection = self._connect(timeout=timeout)
+        try:
+            connection.request(
+                "GET", f"{API_PREFIX}/runs/{run_id}/events?from={int(from_step)}"
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except Exception:  # noqa: BLE001 - any junk body
+                    message = f"HTTP {response.status}"
+                raise ServeError(response.status, str(message))
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        except (ConnectionError, socket.timeout) as exc:
+            raise ServeUnavailable(
+                f"event stream to {self.host}:{self.port} broke ({exc})"
+            ) from exc
+        finally:
+            connection.close()
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        """Ask the daemon to stop; with ``drain`` it finishes in-flight runs
+        first and leaves queued runs journalled for the next daemon."""
+        return self._request("POST", "/shutdown", body={"drain": bool(drain)})
+
+    def ping(self) -> bool:
+        """True when a daemon answers the health route."""
+        try:
+            return bool(self.health().get("ok"))
+        except (ServeUnavailable, ServeError):
+            return False

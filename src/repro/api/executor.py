@@ -10,6 +10,14 @@ caches over the runs it executes), streams periodic checkpoints to a
 shipped between processes as ``RunResult`` JSON dicts — back into input
 order.
 
+Pool lifecycle is a first-class object: :class:`WorkerPool` owns the worker
+processes (lazy start, reset-after-breakage, shutdown) and *persists across
+submissions*, so the per-worker kernel caches stay warm between batches.  The
+same pool object backs both :meth:`ExecutionService.run` (which reuses it
+round after round and batch after batch) and the long-lived
+:class:`~repro.api.server.ScenarioServer` daemon (which keeps one pool warm
+across client requests).
+
 Failure handling is two-layered:
 
 * an exception inside a run is captured in the worker and reported as a
@@ -34,7 +42,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.api.adapters import build_engine
@@ -128,6 +137,117 @@ def _default_mp_context():
     return multiprocessing.get_context()
 
 
+class WorkerPool:
+    """First-class lifecycle of a persistent worker-process pool.
+
+    The pool wraps a ``ProcessPoolExecutor`` whose workers outlive individual
+    submissions: each worker initialises one
+    :class:`~repro.perf.workspace.KernelWorkspace` (via :func:`_worker_init`)
+    and keeps it warm for every payload it ever executes, so repeated
+    submissions of similar scenarios skip phase-cache/stencil-plan rebuilds.
+
+    Lifecycle:
+
+    * workers start lazily on the first :meth:`submit`;
+    * :meth:`reset` tears a (typically broken) pool down so the next submit
+      starts fresh workers — the recovery step after a worker death;
+    * :meth:`shutdown` ends the pool for good (also via ``with``).
+
+    ``workers=0`` is the inline pool: payloads execute synchronously in the
+    calling process (sharing one process-local workspace), and ``submit``
+    returns an already-completed future.  Thread-safe; both
+    :class:`ExecutionService` and :class:`repro.api.server.ScenarioServer`
+    drive their submissions through one shared instance.
+    """
+
+    def __init__(self, workers: int, mp_context=None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline execution)")
+        self.workers = int(workers)
+        self._mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._generations = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def inline(self) -> bool:
+        return self.workers == 0
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def generations(self) -> int:
+        """How many times worker processes were (re)started; a pool that is
+        reused across submissions keeps this at 1."""
+        return self._generations
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                context = self._mp_context if self._mp_context is not None \
+                    else _default_mp_context()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_worker_init,
+                )
+                self._generations += 1
+            return self._executor
+
+    def submit(self, payload: Dict[str, Any]) -> "Future[Dict[str, Any]]":
+        """Schedule one payload; returns a future of its outcome dict.
+
+        The future raises (``BrokenProcessPool``) only when the worker
+        process died outright — in-run exceptions come back as ``failure``
+        outcomes from :func:`execute_payload`.
+        """
+        if self.inline:
+            global _WORKER_WORKSPACE
+            if _WORKER_WORKSPACE is None:
+                _worker_init()
+            future: "Future[Dict[str, Any]]" = Future()
+            try:
+                future.set_result(execute_payload(payload))
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
+            return future
+        return self._ensure().submit(execute_payload, payload)
+
+    def reset(self) -> None:
+        """Discard the current workers; the next submit starts a fresh set.
+
+        The recovery step after a pool break: a ``ProcessPoolExecutor`` whose
+        worker died is permanently broken, so the executor is dropped (without
+        waiting) and lazily recreated on demand.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the workers down; the pool may be restarted by a later submit."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # best-effort: don't leak worker processes
+        try:
+            self.shutdown(wait=False)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
 class ExecutionService:
     """Shard scenario batches across worker processes, resuming crashed runs.
 
@@ -152,6 +272,13 @@ class ExecutionService:
     mp_context:
         Optional ``multiprocessing`` context; defaults to ``fork`` where
         available.
+    pool:
+        Optional *borrowed* :class:`WorkerPool` to execute on.  When given,
+        the service submits to it but never tears it down (the owner does) —
+        this is how the serving daemon and a batch service share one warm
+        pool.  When omitted the service lazily creates its own pool, keeps it
+        warm across :meth:`run` calls, and releases it in :meth:`close` (or
+        on ``with`` exit).
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -159,15 +286,21 @@ class ExecutionService:
                  checkpoint_every: Optional[int] = None,
                  max_retries: int = 1,
                  keep: int = 0,
-                 mp_context=None) -> None:
+                 mp_context=None,
+                 pool: Optional[WorkerPool] = None) -> None:
         if workers is None:
-            workers = os.cpu_count() or 1
+            workers = pool.workers if pool is not None else (os.cpu_count() or 1)
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline execution)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if checkpoint_every is not None and int(checkpoint_every) < 1:
             raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if pool is not None and pool.workers != int(workers):
+            raise ValueError(
+                f"workers={workers} does not match the borrowed pool's "
+                f"{pool.workers} workers"
+            )
         self.workers = int(workers)
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_every = (
@@ -176,6 +309,27 @@ class ExecutionService:
         self.max_retries = int(max_retries)
         self.keep = int(keep)
         self._mp_context = mp_context
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> WorkerPool:
+        """The (shared, persistent) pool submissions execute on."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers, mp_context=self._mp_context)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the owned worker pool (borrowed pools are left alone)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _payload(self, index: int, spec: ScenarioSpec, run_id: str,
@@ -191,62 +345,54 @@ class ExecutionService:
             "attempt": int(attempt),
         }
 
-    def _run_pool(self, payloads: List[Dict[str, Any]], workers: int,
+    def _run_pool(self, pool: WorkerPool, payloads: List[Dict[str, Any]],
                   ) -> Dict[int, Dict[str, Any]]:
-        """One worker pool over ``payloads``; never raises.
+        """Execute ``payloads`` on ``pool``; never raises.
 
         A worker process that dies outright breaks the whole pool, so every
         unfinished future of the pool raises — those outcomes are tagged
         ``pool_broken`` so the caller can tell collateral damage (a healthy
         run whose pool was broken by a neighbour) from a run's own failure.
+        A broken pool is reset so the next submission restarts fresh workers.
         """
-        context = self._mp_context if self._mp_context is not None \
-            else _default_mp_context()
         outcomes: Dict[int, Dict[str, Any]] = {}
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(payloads)),
-            mp_context=context,
-            initializer=_worker_init,
-        ) as pool:
-            futures = {
-                pool.submit(execute_payload, payload): payload
-                for payload in payloads
-            }
-            for future in as_completed(futures):
-                payload = futures[future]
-                index = int(payload["index"])
-                try:
-                    outcomes[index] = future.result()
-                except Exception as exc:  # worker died (BrokenProcessPool, ...)
-                    failure = RunFailure.from_exception(
-                        str(payload["spec"]["name"]),
-                        str(payload["spec"]["engine"]),
-                        exc,
-                        attempts=int(payload.get("attempt", 1)),
-                    )
-                    outcomes[index] = {
-                        "index": index,
-                        "failure": failure.to_dict(),
-                        "pool_broken": True,
-                    }
+        broken = False
+        futures = {pool.submit(payload): payload for payload in payloads}
+        for future in as_completed(futures):
+            payload = futures[future]
+            index = int(payload["index"])
+            try:
+                outcomes[index] = future.result()
+            except Exception as exc:  # worker died (BrokenProcessPool, ...)
+                broken = True
+                failure = RunFailure.from_exception(
+                    str(payload["spec"]["name"]),
+                    str(payload["spec"]["engine"]),
+                    exc,
+                    attempts=int(payload.get("attempt", 1)),
+                )
+                outcomes[index] = {
+                    "index": index,
+                    "failure": failure.to_dict(),
+                    "pool_broken": True,
+                }
+        if broken:
+            pool.reset()
         return outcomes
 
     def _execute_round(self, pending: List[Dict[str, Any]],
                        ) -> List[Dict[str, Any]]:
-        if self.workers == 0:
-            if _WORKER_WORKSPACE is None:
-                _worker_init()
-            return [execute_payload(payload) for payload in pending]
         outcomes: Dict[int, Dict[str, Any]] = {}
         shared = [p for p in pending if not p.get("isolated")]
         if shared:
-            outcomes.update(self._run_pool(shared, self.workers))
+            outcomes.update(self._run_pool(self.pool, shared))
         # Quarantined payloads (their previous shared pool broke) each get a
         # private single-worker pool: a dying worker then only takes down the
         # run that killed it, and the failure is unambiguously its own.
         for payload in pending:
             if payload.get("isolated"):
-                outcomes.update(self._run_pool([payload], 1))
+                with WorkerPool(1, mp_context=self._mp_context) as solo:
+                    outcomes.update(self._run_pool(solo, [payload]))
         return [outcomes[int(payload["index"])] for payload in pending]
 
     # ------------------------------------------------------------------

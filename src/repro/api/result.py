@@ -74,9 +74,14 @@ def revive(value: Any) -> Any:
     if isinstance(value, dict):
         tag = value.get(_COMPLEX_TAG)
         if tag == "array" and set(value) == {_COMPLEX_TAG, "real", "imag"}:
-            return np.asarray(value["real"], dtype=float) + 1j * np.asarray(
-                value["imag"], dtype=float
-            )
+            real = np.asarray(value["real"], dtype=float)
+            # Assemble components in place rather than `real + 1j*imag`: the
+            # addition collapses signed zeros (-0.0 + 0.0 == +0.0) and decays
+            # 0-d arrays to scalars, both of which break bit-exact restore.
+            out = np.empty(real.shape, dtype=complex)
+            out.real = real
+            out.imag = np.asarray(value["imag"], dtype=float)
+            return out
         if tag == "scalar" and set(value) == {_COMPLEX_TAG, "real", "imag"}:
             return complex(float(value["real"]), float(value["imag"]))
         return {k: revive(v) for k, v in value.items()}

@@ -1,0 +1,826 @@
+"""``repro serve``: a long-lived scenario daemon with a warm worker pool.
+
+The :class:`ScenarioServer` is the serving layer the ROADMAP asks for on top
+of the batch :class:`~repro.api.executor.ExecutionService`: a daemon that
+accepts :class:`~repro.api.spec.ScenarioSpec` submissions over HTTP, assigns
+run ids, keeps a bounded FIFO queue, and executes on one **persistent**
+:class:`~repro.api.executor.WorkerPool` that survives across requests — each
+worker process initialises its :class:`~repro.perf.workspace.KernelWorkspace`
+once, so repeated submissions skip the phase-cache/stencil-plan rebuilds that
+a pool-per-request executor pays every time.
+
+Durability is filesystem-first, sharing the existing checkpoint machinery:
+
+* every accepted submission is journalled to ``<root>/queue/<run_id>.json``
+  *before* it is acknowledged;
+* workers stream periodic session snapshots into the shared
+  :class:`~repro.api.store.CheckpointStore` under ``<root>/checkpoints``;
+* finished outcomes are persisted to ``<root>/results/<run_id>.json`` and the
+  journal entry is removed.
+
+A daemon that is killed (crash, OOM, ``kill -9``) therefore loses at most
+``checkpoint_every`` steps of work: on restart it rescans the journal and
+re-enqueues every unfinished run with ``resume=True``, which picks each one
+up from its latest snapshot and — because checkpoints are complete sessions —
+produces results bit-identical to an uninterrupted run.  Graceful shutdown
+(``SIGTERM``/``SIGINT`` or ``POST /v1/shutdown``) drains the same way: new
+submissions are refused, in-flight runs finish (their snapshots are already
+on disk), queued runs stay journalled for the next daemon.
+
+Wire protocol (newline-delimited JSON over HTTP/1.0; see README "Serving")::
+
+    POST /v1/runs                 {"scenario": name, "overrides": {...}} or
+                                  {"spec": {...}} [+ "run_id", "checkpoint_every"]
+    GET  /v1/runs                 all run records
+    GET  /v1/runs/<id>            one run record (status, attempts, pid, ...)
+    GET  /v1/runs/<id>/result     final outcome JSON (409 while pending)
+    GET  /v1/runs/<id>/events     NDJSON stream: status + checkpoint events,
+                                  terminated by a "done"/"failed" event
+    GET  /v1/health               daemon + pool + queue statistics
+    GET  /v1/scenarios            registered scenario names
+    POST /v1/shutdown             {"drain": bool} — stop accepting and exit
+
+The matching Python client lives in :mod:`repro.api.client`; the CLI front
+ends are ``python -m repro serve / submit / status / fetch / shutdown``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.executor import WorkerPool
+from repro.api.registry import default_registry
+from repro.api.spec import ScenarioSpec
+from repro.api.store import CheckpointStore, atomic_write_json, validate_key
+
+#: Wire-protocol version prefix of every route.
+API_PREFIX = "/v1"
+
+#: Default TCP port (ascii "sc" — the paper's venue — is taken; this is free).
+DEFAULT_PORT = 8642
+
+#: Poll cadence of the event stream and of drain waits, seconds.
+_POLL_S = 0.05
+
+#: Keepalive cadence of a quiet event stream, seconds — must stay well under
+#: any sane client socket timeout so silent runs don't look like dead daemons.
+_KEEPALIVE_S = 10.0
+
+#: How many times a run's pool may break (a worker death, possibly caused by
+#: a *different* run sharing the pool) before the breaks start counting
+#: against the run's own retry budget.  Healthy collateral runs typically see
+#: one or two breaks; a run that reliably kills its worker exhausts this
+#: allowance and then its retries, so crash loops stay bounded.
+_POOL_BREAK_ALLOWANCE = 3
+
+#: Terminal record states.
+_FINISHED = ("done", "failed")
+
+
+class ServerError(RuntimeError):
+    """A request the daemon refused; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass
+class RunRecord:
+    """In-memory bookkeeping of one submitted run."""
+
+    run_id: str
+    seq: int
+    spec: Dict[str, Any]
+    checkpoint_every: Optional[int] = None
+    status: str = "queued"
+    attempts: int = 0
+    pool_breaks: int = 0
+    resume: bool = False
+    recovered: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker_pid: Optional[int] = None
+    resumed_from_step: Optional[int] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "scenario": str(self.spec.get("name", "?")),
+            "engine": str(self.spec.get("engine", "?")),
+            "status": self.status,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "worker_pid": self.worker_pid,
+            "resumed_from_step": self.resumed_from_step,
+            "error": self.error,
+        }
+
+
+class ScenarioServer:
+    """The long-lived scenario daemon (see the module docstring).
+
+    Parameters
+    ----------
+    root:
+        State directory: checkpoint store, submission journal and persisted
+        results all live under it, which is what makes the daemon restartable.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    workers:
+        Worker process count of the persistent pool; ``0`` executes inline in
+        the scheduler thread (single-slot, no subprocesses).
+    queue_size:
+        Bound of the FIFO submission queue; further submissions are refused
+        with HTTP 429 until slots drain.
+    checkpoint_every:
+        Default snapshot cadence for submissions that do not name one
+        (``None`` falls back to each spec's ``runtime.checkpoint_every``).
+    max_retries:
+        Per-run retry budget (resume-from-snapshot) after an in-run exception
+        or a worker death.
+    keep:
+        Snapshot retention per run forwarded to the checkpoint store.
+    """
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 workers: int = 1, queue_size: int = 64,
+                 checkpoint_every: Optional[int] = None,
+                 max_retries: int = 1, keep: int = 0,
+                 mp_context=None) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        self.root = Path(root)
+        self.host = str(host)
+        self.port = int(port)
+        self.queue_size = int(queue_size)
+        self.checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every is not None else None
+        )
+        self.max_retries = int(max_retries)
+        self.store = CheckpointStore(self.root / "checkpoints", keep=keep)
+        self.pool = WorkerPool(workers, mp_context=mp_context)
+        self.started_at = time.time()
+
+        self._queue_dir = self.root / "queue"
+        self._results_dir = self.root / "results"
+        self._records: "OrderedDict[str, RunRecord]" = OrderedDict()
+        self._queue: "deque[str]" = deque()
+        self._inflight: Dict[str, Any] = {}
+        self._wake = threading.Condition()
+        self._seq = 0
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Durability: journal + persisted results
+    # ------------------------------------------------------------------
+    def _journal_path(self, run_id: str) -> Path:
+        return self._queue_dir / f"{run_id}.json"
+
+    def _result_path(self, run_id: str) -> Path:
+        return self._results_dir / f"{run_id}.json"
+
+    def _journal(self, record: RunRecord) -> None:
+        atomic_write_json(self._journal_path(record.run_id), {
+            "run_id": record.run_id,
+            "seq": record.seq,
+            "spec": record.spec,
+            "checkpoint_every": record.checkpoint_every,
+            "submitted_at": record.submitted_at,
+        })
+
+    def _persist_outcome(self, record: RunRecord,
+                         outcome: Dict[str, Any]) -> None:
+        payload = {"run_id": record.run_id, "finished_at": record.finished_at}
+        payload.update(outcome)
+        atomic_write_json(self._result_path(record.run_id), payload)
+        try:
+            self._journal_path(record.run_id).unlink()
+        except OSError:
+            pass
+
+    def _recover(self) -> None:
+        """Re-enqueue every journalled-but-unfinished run of a previous daemon.
+
+        Entries are replayed in submission order with ``resume=True``: runs
+        with stored snapshots continue from their latest one, runs that died
+        before the first snapshot start over — either way the eventual result
+        is bit-identical to an uninterrupted run.
+        """
+        if not self._queue_dir.is_dir():
+            return
+        entries: List[Dict[str, Any]] = []
+        for path in sorted(self._queue_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entries.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                continue  # a half-written journal entry was never acked
+        entries.sort(key=lambda entry: int(entry.get("seq", 0)))
+        for entry in entries:
+            run_id = str(entry.get("run_id", ""))
+            if not run_id or run_id in self._records:
+                continue
+            try:
+                validate_key(run_id, "run_id")
+            except ValueError:
+                continue  # a journal file this daemon would never have written
+            record = RunRecord(
+                run_id=run_id,
+                seq=int(entry.get("seq", 0)),
+                spec=dict(entry.get("spec", {})),
+                checkpoint_every=entry.get("checkpoint_every"),
+                resume=True,
+                recovered=True,
+                submitted_at=float(entry.get("submitted_at", time.time())),
+            )
+            self._records[run_id] = record
+            self._queue.append(run_id)
+            self._seq = max(self._seq, record.seq + 1)
+
+    # ------------------------------------------------------------------
+    # Submission + scheduling
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any], run_id: Optional[str] = None,
+               checkpoint_every: Optional[int] = None) -> Dict[str, Any]:
+        """Queue one spec dict; returns the acknowledged record + position.
+
+        The spec is validated (round-tripped through :class:`ScenarioSpec`)
+        and the journal entry is flushed to disk before the ack, so an
+        accepted submission survives a daemon crash.
+        """
+        try:
+            validated = ScenarioSpec.from_dict(spec)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServerError(400, f"invalid spec: {exc}") from exc
+        if checkpoint_every is None:
+            checkpoint_every = self.checkpoint_every
+        else:
+            try:
+                checkpoint_every = int(checkpoint_every)
+            except (TypeError, ValueError) as exc:
+                raise ServerError(
+                    400, f"checkpoint_every must be an integer: {exc}"
+                ) from exc
+            if checkpoint_every < 1:
+                raise ServerError(400, "checkpoint_every must be >= 1")
+        if run_id is not None:
+            # The run id becomes journal/result/checkpoint file names — the
+            # same path-component rules as the checkpoint store apply.
+            try:
+                run_id = validate_key(str(run_id), "run_id")
+            except ValueError as exc:
+                raise ServerError(400, str(exc)) from exc
+        with self._wake:
+            if self._stopping:
+                raise ServerError(503, "daemon is draining; resubmit later")
+            if len(self._queue) >= self.queue_size:
+                raise ServerError(
+                    429,
+                    f"queue is full ({self.queue_size} pending submissions)",
+                )
+            if run_id is None:
+                run_id = self._fresh_run_id()
+            elif self._run_id_taken(run_id):
+                raise ServerError(409, f"run id {run_id!r} already exists")
+            record = RunRecord(
+                run_id=run_id,
+                seq=self._seq,
+                spec=validated.to_dict(),
+                checkpoint_every=checkpoint_every,
+            )
+            self._seq += 1
+            # Inserting the record reserves the run id; the journal fsync
+            # then happens OUTSIDE the lock so disk latency never serialises
+            # the scheduler and every other request behind one submission.
+            self._records[run_id] = record
+        try:
+            self._journal(record)
+        except BaseException:
+            with self._wake:
+                self._records.pop(run_id, None)
+            raise
+        with self._wake:
+            self._queue.append(run_id)
+            position = len(self._queue)
+            self._wake.notify_all()
+        ack = record.to_dict()
+        ack["position"] = position
+        return ack
+
+    def _run_id_taken(self, run_id: str) -> bool:
+        """A run id is taken by a live record, a journal entry, or a result
+        persisted by any (possibly previous) daemon incarnation."""
+        return (
+            run_id in self._records
+            or self._journal_path(run_id).exists()
+            or self._result_path(run_id).exists()
+        )
+
+    def _fresh_run_id(self) -> str:
+        """Next auto id; skips ids already used by this *or a previous*
+        daemon (the journal of a finished run is gone, so the sequence
+        counter alone restarts at 0 after a restart)."""
+        while True:
+            candidate = f"r{self._seq:06d}"
+            if not self._run_id_taken(candidate):
+                return candidate
+            self._seq += 1
+
+    def _payload(self, record: RunRecord) -> Dict[str, Any]:
+        return {
+            "index": record.seq,
+            "spec": record.spec,
+            "run_id": record.run_id,
+            "checkpoint_dir": str(self.store.root),
+            "checkpoint_every": record.checkpoint_every,
+            "keep": self.store.keep,
+            "resume": bool(record.resume),
+            "attempt": record.attempts + 1,
+        }
+
+    def _slots(self) -> int:
+        return max(1, self.pool.workers)
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not (
+                    self._stopping
+                    or (self._queue and len(self._inflight) < self._slots())
+                ):
+                    self._wake.wait(timeout=1.0)
+                if self._stopping:
+                    return
+                run_id = self._queue.popleft()
+                record = self._records[run_id]
+                record.status = "running"
+                record.started_at = time.time()
+                record.attempts += 1
+                payload = self._payload(record)
+                self._inflight[run_id] = None
+            # Submit outside the lock: the inline pool executes synchronously.
+            try:
+                future = self.pool.submit(payload)
+            except Exception as exc:  # raced a pool that just broke
+                # Never let the scheduler thread die: a submit into a
+                # just-broken pool becomes a failed future, which the normal
+                # _on_done path treats as a pool break (reset + retry).
+                self.pool.reset()
+                future = Future()
+                future.set_exception(exc)
+            with self._wake:
+                if run_id in self._inflight:
+                    self._inflight[run_id] = future
+            future.add_done_callback(
+                lambda fut, run_id=run_id: self._on_done(run_id, fut)
+            )
+
+    def _on_done(self, run_id: str, future) -> None:
+        with self._wake:
+            record = self._records[run_id]
+            self._inflight.pop(run_id, None)
+        # The run is neither queued nor in flight now, so the record is ours;
+        # result/failure files are written OUTSIDE the lock (they can be MBs
+        # of observable series — health/status polls must not block on them).
+        pool_broken = False
+        try:
+            outcome = future.result()
+        except Exception as exc:  # the worker process died outright
+            pool_broken = True
+            outcome = {
+                "failure": {
+                    "scenario": str(record.spec.get("name", "?")),
+                    "engine": str(record.spec.get("engine", "?")),
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": "",
+                    "attempts": record.attempts,
+                }
+            }
+        if pool_broken:
+            self.pool.reset()
+            record.pool_breaks += 1
+            if record.pool_breaks <= _POOL_BREAK_ALLOWANCE:
+                # A pool break is usually collateral damage from a *different*
+                # run killing a shared worker (cf. ExecutionService's
+                # quarantine): don't charge this run's retry budget for it —
+                # but only up to the allowance, so a run that reliably kills
+                # its own worker still fails eventually.
+                record.attempts -= 1
+        if "ok" in outcome:
+            executor_meta = outcome["ok"].get("metadata", {}).get(
+                "executor", {}
+            )
+            record.finished_at = time.time()
+            self._persist_outcome(record, {"ok": outcome["ok"]})
+            with self._wake:
+                record.status = "done"
+                record.error = None
+                record.worker_pid = executor_meta.get("worker_pid")
+                record.resumed_from_step = executor_meta.get(
+                    "resumed_from_step"
+                )
+                self._wake.notify_all()
+        elif record.attempts <= self.max_retries:
+            with self._wake:
+                # Retry from the last snapshot: requeue at the *front* so an
+                # interrupted run keeps its place in line.
+                record.status = "queued"
+                record.resume = True
+                record.error = str(outcome["failure"].get("error", ""))
+                self._queue.appendleft(run_id)
+                self._wake.notify_all()
+        else:
+            record.finished_at = time.time()
+            failure = dict(outcome["failure"])
+            failure["attempts"] = record.attempts
+            self._persist_outcome(record, {"failure": failure})
+            with self._wake:
+                record.status = "failed"
+                record.error = str(failure.get("error", ""))
+                self._wake.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection (thread-safe snapshots)
+    # ------------------------------------------------------------------
+    def record_dict(self, run_id: str) -> Dict[str, Any]:
+        with self._wake:
+            record = self._records.get(run_id)
+            if record is not None:
+                return record.to_dict()
+        # A run finished by a previous daemon incarnation: serve it from disk.
+        outcome = self._load_outcome(run_id)
+        if outcome is None:
+            raise ServerError(404, f"unknown run id {run_id!r}")
+        summary = outcome.get("ok") or outcome.get("failure") or {}
+        return {
+            "run_id": run_id,
+            "scenario": str(summary.get("scenario", "?")),
+            "engine": str(summary.get("engine", "?")),
+            "status": "done" if "ok" in outcome else "failed",
+            "attempts": None,
+            "recovered": True,
+            "error": summary.get("error") if "failure" in outcome else None,
+        }
+
+    def list_runs(self) -> List[Dict[str, Any]]:
+        with self._wake:
+            return [record.to_dict() for record in self._records.values()]
+
+    def _load_outcome(self, run_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            validate_key(run_id, "run_id")  # never read outside results/
+        except ValueError:
+            return None
+        try:
+            with open(self._result_path(run_id), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def result_payload(self, run_id: str) -> Dict[str, Any]:
+        record = self.record_dict(run_id)
+        if record["status"] not in _FINISHED:
+            raise ServerError(
+                409, f"run {run_id!r} is {record['status']}; no result yet"
+            )
+        outcome = self._load_outcome(run_id)
+        if outcome is None:
+            raise ServerError(500, f"result of run {run_id!r} is missing on disk")
+        return outcome
+
+    def health(self) -> Dict[str, Any]:
+        with self._wake:
+            statuses = [record.status for record in self._records.values()]
+            return {
+                "ok": True,
+                "pid": os.getpid(),
+                "uptime_s": time.time() - self.started_at,
+                "workers": self.pool.workers,
+                "pool_started": self.pool.started,
+                "pool_generations": self.pool.generations,
+                "queued": statuses.count("queued"),
+                "running": statuses.count("running"),
+                "done": statuses.count("done"),
+                "failed": statuses.count("failed"),
+                "queue_size": self.queue_size,
+                "draining": self._stopping,
+            }
+
+    def iter_events(self, run_id: str, from_step: int = 0,
+                    poll: float = _POLL_S) -> Iterator[Dict[str, Any]]:
+        """Yield status + checkpoint events until the run finishes.
+
+        Checkpoint events surface from the store (the workers write snapshots
+        straight to disk); the final event embeds the persisted outcome, so a
+        streaming client needs no second round-trip.  Quiet stretches (a run
+        queued behind others, or stepping between checkpoints) emit periodic
+        ``ping`` events so client socket timeouts don't mistake a silent
+        healthy stream for a dead daemon.
+        """
+        record = self.record_dict(run_id)  # 404s early for unknown ids
+        scenario = record["scenario"]
+        last_status: Optional[str] = None
+        seen_step = int(from_step)
+        last_emit = time.monotonic()
+        while True:
+            record = self.record_dict(run_id)
+            if record["status"] != last_status:
+                last_status = record["status"]
+                last_emit = time.monotonic()
+                yield {"event": "status", "run_id": run_id,
+                       "status": last_status,
+                       "attempts": record.get("attempts")}
+            for step in self.store.steps(scenario, run_id):
+                if step > seen_step:
+                    seen_step = step
+                    last_emit = time.monotonic()
+                    yield {"event": "checkpoint", "run_id": run_id,
+                           "step": step}
+            if record["status"] in _FINISHED:
+                yield {"event": record["status"], "run_id": run_id,
+                       "outcome": self.result_payload(run_id)}
+                return
+            if time.monotonic() - last_emit > _KEEPALIVE_S:
+                last_emit = time.monotonic()
+                yield {"event": "ping", "run_id": run_id}
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ScenarioServer":
+        """Bind the socket, recover the journal and start serving (non-blocking)."""
+        if self._httpd is not None:
+            raise RuntimeError("server is already started")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._queue_dir.mkdir(parents=True, exist_ok=True)
+        self._results_dir.mkdir(parents=True, exist_ok=True)
+        with self._wake:
+            self._recover()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler",
+            daemon=True,
+        )
+        self._scheduler.start()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = int(self._httpd.server_address[1])
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http",
+            kwargs={"poll_interval": 0.1}, daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the daemon; with ``drain`` the in-flight runs finish first.
+
+        Queued runs are *not* executed either way — their journal entries
+        stay on disk, so the next daemon started on the same root resumes
+        them.  Without ``drain`` the worker pool is torn down immediately;
+        interrupted runs lose at most ``checkpoint_every`` steps.
+        """
+        with self._wake:
+            self._stopping = True
+            self._wake.notify_all()
+        if drain:
+            deadline = None if timeout is None else time.time() + timeout
+            with self._wake:
+                while self._inflight:
+                    remaining = None if deadline is None \
+                        else max(0.0, deadline - time.time())
+                    if remaining == 0.0:
+                        break
+                    self._wake.wait(timeout=remaining if remaining else 0.5)
+        self.pool.shutdown(wait=drain)
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=5.0)
+            self._scheduler = None
+        self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Blocking run loop with SIGINT/SIGTERM-triggered graceful drain."""
+        if self._httpd is None:
+            self.start()
+
+        def _signal_stop(signum, frame):  # noqa: ARG001 - signal signature
+            threading.Thread(
+                target=self.stop, kwargs={"drain": True}, daemon=True,
+            ).start()
+
+        try:
+            signal.signal(signal.SIGTERM, _signal_stop)
+            signal.signal(signal.SIGINT, _signal_stop)
+        except ValueError:
+            pass  # not the main thread (tests drive start/stop directly)
+        self._stopped.wait()
+
+    def __enter__(self) -> "ScenarioServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._stopped.is_set():
+            self.stop(drain=True)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+def _make_handler(daemon: ScenarioServer):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1"
+        # HTTP/1.0 + Connection: close keeps the NDJSON event stream free of
+        # chunked-transfer framing: curl and http.client just read lines.
+        protocol_version = "HTTP/1.0"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # the daemon is quiet; traffic logging belongs to callers
+
+        # -- helpers ----------------------------------------------------
+        def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json({"error": message}, status=status)
+
+        def _read_body(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServerError(400, f"request body is not JSON: {exc}")
+            if not isinstance(payload, dict):
+                raise ServerError(400, "request body must be a JSON object")
+            return payload
+
+        def _route(self, method: str) -> None:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            if not parts or f"/{parts[0]}" != API_PREFIX:
+                raise ServerError(404, f"unknown path {parsed.path!r}")
+            parts = parts[1:]
+            query = parse_qs(parsed.query)
+            if method == "GET":
+                return self._route_get(parts, query)
+            if method == "POST":
+                return self._route_post(parts)
+            raise ServerError(405, f"method {method} not allowed")
+
+        def _route_get(self, parts: List[str], query) -> None:
+            if parts == ["health"]:
+                return self._send_json(daemon.health())
+            if parts == ["scenarios"]:
+                return self._send_json(
+                    {"scenarios": default_registry().names()}
+                )
+            if parts == ["runs"]:
+                return self._send_json({"runs": daemon.list_runs()})
+            if len(parts) == 2 and parts[0] == "runs":
+                return self._send_json(daemon.record_dict(parts[1]))
+            if len(parts) == 3 and parts[0] == "runs" and parts[2] == "result":
+                return self._send_json(daemon.result_payload(parts[1]))
+            if len(parts) == 3 and parts[0] == "runs" and parts[2] == "events":
+                try:
+                    from_step = int(query.get("from", ["0"])[0])
+                except ValueError as exc:
+                    raise ServerError(
+                        400, f"'from' must be an integer: {exc}"
+                    ) from exc
+                return self._stream_events(parts[1], from_step)
+            raise ServerError(404, f"unknown path {self.path!r}")
+
+        def _route_post(self, parts: List[str]) -> None:
+            if parts == ["runs"]:
+                body = self._read_body()
+                spec = self._resolve_spec(body)
+                ack = daemon.submit(
+                    spec,
+                    run_id=body.get("run_id"),
+                    checkpoint_every=body.get("checkpoint_every"),
+                )
+                return self._send_json(ack, status=202)
+            if parts == ["shutdown"]:
+                body = self._read_body()
+                drain = bool(body.get("drain", True))
+                self._send_json({"ok": True, "draining": drain})
+                # Stop from a helper thread: this handler thread must finish
+                # its response, and httpd.shutdown() waits for the serve loop.
+                threading.Thread(
+                    target=daemon.stop, kwargs={"drain": drain}, daemon=True,
+                ).start()
+                return None
+            raise ServerError(404, f"unknown path {self.path!r}")
+
+        @staticmethod
+        def _resolve_spec(body: Dict[str, Any]) -> Dict[str, Any]:
+            if "spec" in body:
+                spec = body["spec"]
+                if not isinstance(spec, dict):
+                    raise ServerError(400, "'spec' must be a JSON object")
+                return spec
+            if "scenario" in body:
+                try:
+                    spec = default_registry().get(str(body["scenario"]))
+                except KeyError as exc:
+                    raise ServerError(404, str(exc.args[0])) from exc
+                overrides = body.get("overrides") or {}
+                if not isinstance(overrides, dict):
+                    raise ServerError(400, "'overrides' must be a JSON object")
+                if overrides:
+                    try:
+                        spec = spec.with_overrides(overrides)
+                    except (KeyError, ValueError) as exc:
+                        raise ServerError(400, str(exc)) from exc
+                return spec.to_dict()
+            raise ServerError(400, "submission needs 'spec' or 'scenario'")
+
+        def _stream_events(self, run_id: str, from_step: int) -> None:
+            # 404 before committing to a stream.
+            daemon.record_dict(run_id)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.end_headers()
+            try:
+                for event in daemon.iter_events(run_id, from_step=from_step):
+                    self.wfile.write(
+                        (json.dumps(event) + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # the client hung up mid-stream
+            except Exception as exc:  # noqa: BLE001 - headers already sent
+                # Mid-stream faults must stay NDJSON: an HTTP error response
+                # at this point would splice a raw status line into the body.
+                try:
+                    self.wfile.write((json.dumps({
+                        "event": "error", "run_id": run_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+
+        # -- verbs ------------------------------------------------------
+        def _dispatch(self, method: str) -> None:
+            try:
+                self._route(method)
+            except ServerError as exc:
+                self._send_error_json(exc.status, str(exc))
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # the client hung up
+            except Exception as exc:  # noqa: BLE001 - the daemon must answer
+                # An unmapped bug must come back as a 500 JSON error, not a
+                # dropped connection (which clients misread as daemon-down).
+                try:
+                    self._send_error_json(
+                        500, f"internal error: {type(exc).__name__}: {exc}"
+                    )
+                except Exception:  # headers already sent / socket gone
+                    pass
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("POST")
+
+    return Handler

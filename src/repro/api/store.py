@@ -27,6 +27,10 @@ from repro.api.engine import CheckpointError
 # {8,}: step numbers >= 10^8 spill past the zero-padding; they must still be
 # visible to steps()/latest()/pruning.
 _STEP_FILE = re.compile(r"^step-(\d{8,})\.json$")
+
+#: How many full directory rescans ``latest()`` tolerates when concurrent
+#: pruning keeps deleting the snapshots it scanned before giving up.
+_LATEST_RESCAN_LIMIT = 8
 _BAD_KEY = re.compile(r"[^A-Za-z0-9._-]")
 
 
@@ -41,6 +45,42 @@ def _key(name: str, what: str) -> str:
             "and '-' (and must not start with '.')"
         )
     return name
+
+
+def validate_key(name: str, what: str = "key") -> str:
+    """Public form of the path-component validation (used by the serving
+    daemon for client-supplied run ids before they touch the filesystem)."""
+    return _key(name, what)
+
+
+def atomic_write_json(path, payload: Any) -> Path:
+    """Atomically persist ``payload`` as JSON at ``path`` (temp + rename).
+
+    The one atomic-write discipline of the whole state layer — checkpoint
+    snapshots, the daemon's submission journal and its persisted results all
+    go through here: write to a dot-prefixed temp file in the destination
+    directory, fsync, then ``os.replace``, so a process killed mid-write
+    never leaves a truncated file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".tmp-{path.stem}-", suffix=".json", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 class CheckpointStore:
@@ -82,24 +122,7 @@ class CheckpointStore:
         if step < 0:
             raise CheckpointError("checkpoint step must be >= 0")
         directory = self.run_dir(str(checkpoint["scenario"]), run_id)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"step-{step:08d}.json"
-        payload = json.dumps(checkpoint)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".tmp-checkpoint-", suffix=".json", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_json(directory / f"step-{step:08d}.json", checkpoint)
         if self.keep:
             self._prune(directory)
         return path
@@ -152,11 +175,41 @@ class CheckpointStore:
 
     def latest(self, scenario: str, run_id: str = "default",
                ) -> Optional[Dict[str, Any]]:
-        """The highest-step snapshot of a run, or ``None`` when there is none."""
-        available = self.steps(scenario, run_id)
-        if not available:
-            return None
-        return self.load(scenario, run_id, step=available[-1])
+        """The highest-step snapshot of a run, or ``None`` when there is none.
+
+        Safe against concurrent writers on the same run id: another process
+        saving with ``keep=N`` prunes old snapshots *between* this method's
+        directory scan and its read, so the file picked from the scan can be
+        gone by the time it is opened (saves are atomic renames, so files
+        vanish whole — they are never truncated).  A vanished snapshot only
+        ever means a newer one exists: fall back through the scanned steps in
+        descending order and rescan the directory when the whole scan went
+        stale, rather than surfacing a spurious ``CheckpointError``.  Only a
+        *missing* file is tolerated — a corrupt (unparsable) snapshot is a
+        real store fault and raises immediately.
+        """
+        directory = self.run_dir(scenario, run_id)
+        for _ in range(_LATEST_RESCAN_LIMIT):
+            available = self.steps(scenario, run_id)
+            if not available:
+                return None
+            for step in reversed(available):
+                path = directory / f"step-{int(step):08d}.json"
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        return json.load(handle)
+                except FileNotFoundError:
+                    continue  # pruned since the scan — try an older one
+                except json.JSONDecodeError as exc:
+                    raise CheckpointError(
+                        f"corrupt checkpoint {path}: {exc}"
+                    ) from exc
+        raise CheckpointError(
+            f"snapshots of scenario {scenario!r} run {run_id!r} under "
+            f"{self.root} kept vanishing across {_LATEST_RESCAN_LIMIT} "
+            "directory scans; the store is being pruned faster than it can "
+            "be read"
+        )
 
     # ------------------------------------------------------------------
     def scenarios(self) -> List[str]:

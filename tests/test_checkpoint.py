@@ -301,6 +301,117 @@ class TestCheckpointStore:
         assert_results_bit_identical(uninterrupted, resumed)
 
 
+class TestConcurrentWriters:
+    """latest() vs. concurrent save(keep=N) on the same run id.
+
+    Once the serving daemon shares one store across worker processes, two
+    writers can snapshot the same run id concurrently (e.g. a stale worker's
+    last save racing the resumed attempt).  Saves are atomic renames, but a
+    ``keep=N`` writer *prunes* between another reader's directory scan and
+    its file read — ``latest()`` must fall back to the surviving snapshots
+    instead of surfacing a spurious ``CheckpointError``.
+    """
+
+    def make_checkpoint(self, step: int) -> dict:
+        return {"format": 1, "scenario": "md-nve", "engine": "md",
+                "time": float(step), "step": step, "state": {"x": [1.0]}}
+
+    def test_latest_survives_files_pruned_after_the_scan(self, tmp_path,
+                                                         monkeypatch):
+        # Deterministic interleaving: the directory scan claims steps 2 and 4
+        # exist, but step 4's file is pruned before latest() can open it.
+        store = CheckpointStore(tmp_path)
+        store.save(self.make_checkpoint(2))
+        path_4 = store.save(self.make_checkpoint(4))
+        real_steps = CheckpointStore.steps
+
+        def steps_then_prune(self_store, scenario, run_id="default"):
+            found = real_steps(self_store, scenario, run_id)
+            if path_4.exists():
+                path_4.unlink()  # the concurrent writer's prune lands here
+            return found
+
+        monkeypatch.setattr(CheckpointStore, "steps", steps_then_prune)
+        snapshot = store.latest("md-nve")
+        assert snapshot is not None and snapshot["step"] == 2
+
+    def test_latest_rescans_when_every_scanned_file_vanished(self, tmp_path,
+                                                             monkeypatch):
+        # Worst case: everything the first scan saw is pruned; a newer
+        # snapshot (the one the pruning writer just saved) replaces it.
+        store = CheckpointStore(tmp_path)
+        stale = store.save(self.make_checkpoint(2))
+        real_steps = CheckpointStore.steps
+        state = {"first": True}
+
+        def racing_steps(self_store, scenario, run_id="default"):
+            found = real_steps(self_store, scenario, run_id)
+            if state.pop("first", False):
+                stale.unlink()
+                store.save(self.make_checkpoint(6))
+            return found
+
+        monkeypatch.setattr(CheckpointStore, "steps", racing_steps)
+        snapshot = store.latest("md-nve")
+        assert snapshot is not None and snapshot["step"] == 6
+
+    def test_latest_gives_up_after_bounded_rescans(self, tmp_path, monkeypatch):
+        # If the store is (pathologically) pruned faster than it can be read,
+        # latest() must terminate with a diagnostic, not loop forever.  Every
+        # scan claims step 2 exists but the file is never on disk.
+        store = CheckpointStore(tmp_path)
+        monkeypatch.setattr(CheckpointStore, "steps", lambda *a, **k: [2])
+        with pytest.raises(CheckpointError, match="vanishing"):
+            store.latest("md-nve")
+
+    def test_latest_does_not_mask_corruption_as_pruning(self, tmp_path):
+        # A truncated snapshot is a real store fault (atomic writes make it
+        # impossible in normal operation): latest() must raise the corruption
+        # diagnostic, not skip to an older snapshot or claim pruning races.
+        store = CheckpointStore(tmp_path)
+        store.save(self.make_checkpoint(2))
+        path = store.save(self.make_checkpoint(4))
+        path.write_text("{ truncated", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.latest("md-nve")
+
+    def test_hammering_writers_never_break_latest(self, tmp_path):
+        # Stress the real interleaving: two keep=1 writers snapshot the same
+        # run id while a reader polls latest(); the reader must always get a
+        # complete payload and never a CheckpointError.
+        import threading
+
+        store = CheckpointStore(tmp_path, keep=1)
+        store.save(self.make_checkpoint(0))  # non-empty before the reader polls
+        stop = threading.Event()
+        errors = []
+
+        def writer(offset: int) -> None:
+            step = offset
+            while not stop.is_set():
+                try:
+                    store.save(self.make_checkpoint(step))
+                except Exception as exc:  # noqa: BLE001 - fail the test below
+                    errors.append(exc)
+                    return
+                step += 2
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in (1, 2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                snapshot = store.latest("md-nve")
+                assert snapshot is not None
+                assert snapshot["scenario"] == "md-nve"
+                assert isinstance(snapshot["step"], int)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors
+
+
 # ----------------------------------------------------------------------
 # RunFailure container
 # ----------------------------------------------------------------------

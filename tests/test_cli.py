@@ -165,3 +165,61 @@ def test_batch_resume_requires_checkpoint_dir():
     proc = run_cli("batch", "maxwell-vacuum", "--resume")
     assert proc.returncode == 2
     assert "--resume requires --checkpoint-dir" in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# Error paths: every misuse must exit non-zero with actionable stderr
+# ----------------------------------------------------------------------
+def test_malformed_set_without_equals_fails_cleanly():
+    proc = run_cli("run", "md-nve", "--set", "runtime.num_steps")
+    assert proc.returncode == 2
+    assert "not of the form key=value" in proc.stderr
+
+
+def test_malformed_set_with_empty_key_fails_cleanly():
+    proc = run_cli("run", "md-nve", "--set", "=5")
+    assert proc.returncode == 2
+    assert "empty key" in proc.stderr
+
+
+def test_resume_without_any_checkpoint_fails_cleanly(tmp_path):
+    store_dir = tmp_path / "empty-store"
+    proc = run_cli("run", "maxwell-vacuum", "--resume",
+                   "--checkpoint-dir", str(store_dir))
+    assert proc.returncode == 2
+    assert "no checkpoint for scenario 'maxwell-vacuum'" in proc.stderr
+    assert "drop --resume" in proc.stderr  # tells the user the way out
+
+
+def test_resume_with_unknown_run_id_fails_cleanly(tmp_path):
+    store_dir = tmp_path / "ckpts"
+    seeded = run_cli("run", "maxwell-vacuum", "--steps", "4", "--quiet",
+                     "--checkpoint-dir", str(store_dir),
+                     "--checkpoint-every", "2")
+    assert seeded.returncode == 0, seeded.stderr
+    proc = run_cli("run", "maxwell-vacuum", "--resume",
+                   "--checkpoint-dir", str(store_dir), "--run-id", "other")
+    assert proc.returncode == 2
+    assert "run 'other'" in proc.stderr
+
+
+def test_batch_negative_workers_fails_cleanly():
+    proc = run_cli("batch", "maxwell-vacuum", "--workers", "-2")
+    assert proc.returncode == 2
+    assert "workers must be >= 0" in proc.stderr
+
+
+def test_batch_unknown_scenario_fails_cleanly():
+    proc = run_cli("batch", "maxwell-vacuum", "definitely-not-registered")
+    assert proc.returncode == 2
+    assert "unknown scenario" in proc.stderr
+
+
+def test_client_commands_without_daemon_fail_cleanly():
+    # Port 1 is never listening; every client subcommand must exit 3 with
+    # the daemon address in the message, not hang or traceback.
+    for argv in (["submit", "md-nve"], ["status"], ["fetch", "r000000"],
+                 ["shutdown"]):
+        proc = run_cli(*argv, "--port", "1")
+        assert proc.returncode == 3, (argv, proc.stderr)
+        assert "no repro daemon reachable" in proc.stderr

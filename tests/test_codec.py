@@ -1,0 +1,161 @@
+"""Property tests of the checkpoint/RunResult JSON codec (``_plain``/``revive``).
+
+The checkpoint → restore contract rests on one property: a ``_plain`` →
+``json.dumps`` → ``json.loads`` → ``revive`` cycle reproduces every value
+bit-exactly.  Python's JSON writer emits shortest-round-trip float literals
+(and ``NaN``/``Infinity`` literals for the specials), so the property holds
+for every float64 — these tests pin it down across the shapes the engines
+actually ship: complex orbital arrays, empty series, 0-d observables, nested
+state dicts, and non-finite values.
+
+Canonical NaN only: the codec goes through decimal text, which preserves the
+*value* NaN but not arbitrary payload bits, and no engine emits payload NaNs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.result import _plain, revive
+
+# Finite floats plus the canonical specials (bit-stable through repr):
+finite_or_special = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=True, width=64),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+    st.just(-0.0),
+)
+
+#: Shapes the engines actually record: scalars (0-d), empty series, vectors,
+#: matrices — including zero-length trailing axes.
+array_shapes = st.sampled_from([(), (0,), (1,), (3,), (2, 3), (3, 0), (2, 2, 2)])
+
+
+@st.composite
+def float_arrays(draw):
+    shape = draw(array_shapes)
+    size = int(np.prod(shape, dtype=int))
+    values = draw(
+        st.lists(finite_or_special, min_size=size, max_size=size)
+    )
+    return np.asarray(values, dtype=np.float64).reshape(shape)
+
+
+@st.composite
+def complex_arrays(draw):
+    real = draw(float_arrays())
+    imag_values = draw(
+        st.lists(finite_or_special, min_size=real.size, max_size=real.size)
+    )
+    # Assemble in place: `real + 1j*imag` would collapse -0.0 signs and decay
+    # 0-d arrays to scalars — exactly the bugs these tests exist to catch.
+    out = np.empty(real.shape, dtype=np.complex128)
+    out.real = real
+    out.imag = np.asarray(imag_values, dtype=np.float64).reshape(real.shape)
+    return out
+
+
+def cycle(value):
+    """The full wire trip a checkpoint payload takes."""
+    return revive(json.loads(json.dumps(_plain(value))))
+
+
+def assert_bits_equal(expected: np.ndarray, actual) -> None:
+    """Bit-exact equality: shape and raw float bytes (NaN == NaN)."""
+    actual = np.asarray(actual, dtype=expected.dtype)
+    assert actual.shape == expected.shape
+    assert actual.tobytes() == expected.tobytes()
+
+
+@settings(max_examples=200, deadline=None)
+@given(float_arrays())
+def test_real_arrays_round_trip_bit_exactly(array):
+    revived = cycle(array)
+    assert_bits_equal(array, revived)
+
+
+@settings(max_examples=200, deadline=None)
+@given(complex_arrays())
+def test_complex_arrays_round_trip_bit_exactly(array):
+    revived = cycle(array)
+    # Complex arrays come back as ndarrays directly (tagged encoding).
+    assert isinstance(revived, np.ndarray) and np.iscomplexobj(revived)
+    assert revived.shape == array.shape
+    assert_bits_equal(array.real, revived.real)
+    assert_bits_equal(array.imag, revived.imag)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.complex_numbers(allow_nan=False, allow_infinity=True))
+def test_complex_scalars_round_trip(value):
+    revived = cycle(value)
+    assert isinstance(revived, complex)
+    assert repr(revived) == repr(value)  # bit-exact incl. -0.0 signs
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(
+            float_arrays(),
+            complex_arrays(),
+            finite_or_special,
+            st.integers(min_value=-(2**53), max_value=2**53),
+            st.booleans(),
+            st.none(),
+            st.text(max_size=12),
+        ),
+        max_size=5,
+    )
+)
+def test_nested_state_dicts_round_trip(state):
+    revived = cycle(state)
+    assert set(revived) == set(state)
+    for key, value in state.items():
+        got = revived[key]
+        if isinstance(value, np.ndarray):
+            if np.iscomplexobj(value):
+                assert_bits_equal(value.real, np.asarray(got).real)
+                assert_bits_equal(value.imag, np.asarray(got).imag)
+            else:
+                assert_bits_equal(value, got)
+        elif isinstance(value, float):
+            assert_bits_equal(np.float64(value), np.asarray(got, dtype=np.float64))
+        else:
+            assert got == value
+
+
+def test_empty_series_and_zero_d_specifics():
+    # The exact shapes the satellite calls out, pinned without hypothesis.
+    for array in (
+        np.array(3.5),                        # 0-d real
+        np.array(1.0 + 2.0j),                 # 0-d complex
+        np.array([], dtype=np.float64),       # empty series
+        np.zeros((4, 0), dtype=np.complex128),  # empty trailing axis
+        np.array([np.nan, np.inf, -np.inf, -0.0]),
+    ):
+        revived = cycle(array)
+        if np.iscomplexobj(array):
+            assert_bits_equal(array.real, np.asarray(revived).real)
+            assert_bits_equal(array.imag, np.asarray(revived).imag)
+        else:
+            assert_bits_equal(array, revived)
+
+
+def test_tagged_lookalike_dicts_are_not_decoded():
+    # A state dict that happens to carry a __complex__ key with extra fields
+    # must NOT be misread as an encoded array.
+    value = {"__complex__": "array", "real": [1.0], "imag": [2.0], "extra": 1}
+    revived = cycle(value)
+    assert isinstance(revived, dict) and revived["extra"] == 1
+
+
+def test_lists_and_tuples_stay_lists():
+    revived = cycle({"a": (1.0, 2.0), "b": [3.0, [4.0]]})
+    assert revived == {"a": [1.0, 2.0], "b": [3.0, [4.0]]}

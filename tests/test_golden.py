@@ -1,0 +1,140 @@
+"""Cross-scenario golden regression fixture.
+
+Every registered scenario's default run is frozen as a compact digest —
+shape, dtype and SHA-256 of the raw bytes of ``times`` and of each recorded
+observable series — in ``tests/golden/<scenario>.json``.  The test reruns the
+scenario and asserts the digests match bit-for-bit, so a perf refactor that
+silently drifts the physics (a reordered reduction, a dropped term, a changed
+RNG stream) fails loudly instead of shipping.
+
+Digests are environment-stamped: bit-identical floating point is only
+guaranteed on the numpy/BLAS build that wrote the fixture, so when the local
+environment fingerprint differs from the recorded one a mismatch skips (with
+the fingerprint diff) instead of failing.  On a matching environment a
+mismatch is a hard failure — reruns in one environment are exactly
+reproducible by construction (every stochastic component draws from the
+spec's seeded streams).
+
+Regenerate after an *intentional* physics change::
+
+    PYTHONPATH=src python tests/test_golden.py --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+import pytest
+
+from repro.api import RunResult, default_registry, run_scenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """What bit-identity across machines legitimately depends on.
+
+    Python is fingerprinted at major.minor (patch releases don't change
+    float semantics); numpy exactly (its SIMD kernels do).  CI pins its
+    golden job to this fixture environment so the digests stay *binding*
+    there — the mismatch-skip below is for everyone else's machines, not an
+    escape hatch for CI.
+    """
+    return {
+        "numpy": np.__version__,
+        "python": ".".join(platform.python_version_tuple()[:2]),
+        "machine": platform.machine(),
+    }
+
+
+def _array_digest(array: np.ndarray) -> Dict[str, Any]:
+    array = np.ascontiguousarray(array)
+    return {
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+        "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+    }
+
+
+def result_digest(result: RunResult) -> Dict[str, Any]:
+    return {
+        "scenario": result.scenario,
+        "engine": result.engine,
+        "num_records": result.num_records,
+        "times": _array_digest(result.times),
+        "observables": {
+            name: _array_digest(series)
+            for name, series in sorted(result.observables.items())
+        },
+    }
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def run_default(name: str) -> RunResult:
+    return run_scenario(default_registry().get(name))
+
+
+@pytest.mark.parametrize("name", default_registry().names())
+def test_scenario_matches_golden_digest(name):
+    path = golden_path(name)
+    assert path.exists(), (
+        f"no golden fixture for scenario {name!r}; generate it with "
+        f"`PYTHONPATH=src python {Path(__file__).name} --write`"
+    )
+    stored = json.loads(path.read_text(encoding="utf-8"))
+    fresh = result_digest(run_default(name))
+    if fresh == stored["digest"]:
+        return
+    local_env = environment_fingerprint()
+    if local_env != stored["environment"]:
+        pytest.skip(
+            f"digest mismatch on a different environment "
+            f"(fixture: {stored['environment']}, local: {local_env}); "
+            "bit-identity is only frozen per environment"
+        )
+    drifted = sorted(
+        key for key in set(fresh["observables"]) | set(stored["digest"]["observables"])
+        if fresh["observables"].get(key) != stored["digest"]["observables"].get(key)
+    )
+    raise AssertionError(
+        f"scenario {name!r} drifted from its golden digest "
+        f"(observables changed: {drifted or ['<times/meta>']}); if the "
+        "physics change is intentional, regenerate with --write"
+    )
+
+
+def test_golden_covers_every_registered_scenario():
+    names = set(default_registry().names())
+    stored = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert names <= stored, f"missing golden fixtures: {sorted(names - stored)}"
+    assert stored <= names, f"stale golden fixtures: {sorted(stored - names)}"
+
+
+def write_golden() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    env = environment_fingerprint()
+    for name in default_registry().names():
+        payload = {
+            "environment": env,
+            "digest": result_digest(run_default(name)),
+        }
+        golden_path(name).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {golden_path(name)}")
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        write_golden()
+    else:
+        print(__doc__)

@@ -1,0 +1,451 @@
+"""End-to-end harness for the ``repro serve`` daemon.
+
+The subprocess tests are the PR's acceptance criteria: a real daemon process
+serves concurrent submissions bit-identically to inline execution, reuses its
+warm worker processes across requests, and — when SIGKILLed mid-run — the
+next daemon started on the same state directory resumes the interrupted run
+from its last checkpoint and still reproduces the uninterrupted result
+bit-exactly.
+
+The in-process tests cover the protocol surface (queue bounds, error
+statuses, event streaming, journal recovery) without the subprocess overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    BatchRunner,
+    ScenarioServer,
+    ServeClient,
+    ServeError,
+    ServeUnavailable,
+    default_registry,
+)
+from repro.api.server import ServerError
+
+from test_api import smoke_spec
+from test_checkpoint import assert_results_bit_identical
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src")
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+
+#: The three concurrently-submitted scenarios of the acceptance test —
+#: deterministic and stochastic engines, three different adapters.
+E2E_NAMES = ("maxwell-vacuum", "md-nve", "md-langevin")
+
+
+# ----------------------------------------------------------------------
+# Subprocess daemon harness
+# ----------------------------------------------------------------------
+def _spawn_daemon(root: Path, workers: int, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers), "--checkpoint-dir", str(root), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        # Its own session/process group: killing the group takes the forked
+        # pool workers down with the daemon (the SIGKILL test relies on it).
+        start_new_session=True,
+    )
+
+
+def _await_port(proc: subprocess.Popen, timeout: float = 60.0) -> int:
+    """Parse the bound port from the daemon's startup line."""
+    deadline = time.monotonic() + timeout
+    line = ""
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited during startup: {proc.stdout.read()}"
+            )
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            return int(line.split("listening on", 1)[1].split()[0].rsplit(":", 1)[1])
+    raise AssertionError(f"no startup line within {timeout}s (last: {line!r})")
+
+
+def _kill_group(proc: subprocess.Popen, sig: int = signal.SIGKILL) -> None:
+    try:
+        os.killpg(os.getpgid(proc.pid), sig)
+    except (ProcessLookupError, PermissionError):
+        pass
+    proc.wait(timeout=30)
+    proc.stdout.close()
+
+
+@contextmanager
+def serve_daemon(root: Path, workers: int = 1, *extra: str):
+    proc = _spawn_daemon(root, workers, *extra)
+    try:
+        port = _await_port(proc)
+        client = ServeClient(port=port, timeout=60.0)
+        yield proc, client
+    finally:
+        _kill_group(proc)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: concurrent parity + warm pool + kill/resume, end to end
+# ----------------------------------------------------------------------
+@needs_fork
+class TestDaemonEndToEnd:
+    def test_concurrent_submissions_match_inline_and_reuse_workers(self, tmp_path):
+        specs = [smoke_spec(name, num_steps=4) for name in E2E_NAMES]
+        inline = BatchRunner().run(specs, raise_on_error=True)
+
+        with serve_daemon(tmp_path / "state", 2) as (proc, client):
+            # Submit all three concurrently from separate client threads.
+            acks = [None] * len(specs)
+
+            def _submit(i):
+                acks[i] = client.submit(specs[i], run_id=f"e2e-{i}")
+
+            threads = [
+                threading.Thread(target=_submit, args=(i,))
+                for i in range(len(specs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(ack is not None for ack in acks)
+
+            outcomes = [
+                client.wait(f"e2e-{i}", timeout=120)
+                for i in range(len(specs))
+            ]
+            for expected, actual in zip(inline, outcomes):
+                assert actual.ok, actual.error
+                assert actual.scenario == expected.scenario
+                assert_results_bit_identical(expected, actual)
+
+            first_pids = {
+                outcome.metadata["executor"]["worker_pid"]
+                for outcome in outcomes
+            }
+            assert len(first_pids) <= 2  # the pool, not one process per run
+            assert proc.pid not in first_pids  # real worker subprocesses
+
+            # A second wave of requests lands on the SAME warm workers: the
+            # pool persists across submissions instead of respawning.
+            second_pids = set()
+            for i, spec in enumerate(specs):
+                ack = client.submit(spec, run_id=f"wave2-{i}")
+                outcome = client.wait(ack["run_id"], timeout=120)
+                assert outcome.ok
+                second_pids.add(outcome.metadata["executor"]["worker_pid"])
+            assert second_pids <= first_pids
+            assert client.health()["pool_generations"] == 1
+
+    def test_killed_daemon_resumes_from_last_checkpoint(self, tmp_path):
+        # ~8 s of TDDFT stepping: long enough that SIGKILL lands mid-run,
+        # cheap enough for the suite.  checkpoint_every=20 bounds lost work.
+        spec = default_registry().get("quickstart-tddft").with_overrides({
+            "runtime.num_steps": 400,
+            "runtime.record_every": 4,
+        })
+        uninterrupted = BatchRunner().run([spec], raise_on_error=True)[0]
+
+        root = tmp_path / "state"
+        snapshot_dir = root / "checkpoints" / spec.name / "victim"
+        proc = _spawn_daemon(root, 1)
+        try:
+            port = _await_port(proc)
+            client = ServeClient(port=port, timeout=60.0)
+            client.submit(spec, run_id="victim", checkpoint_every=20)
+            # Wait for the first on-disk snapshot, then SIGKILL the whole
+            # process group (daemon + pool workers): no drain, no atexit.
+            deadline = time.monotonic() + 120
+            while not list(snapshot_dir.glob("step-*.json")):
+                assert time.monotonic() < deadline, "no snapshot before timeout"
+                time.sleep(0.02)
+        finally:
+            _kill_group(proc, signal.SIGKILL)
+
+        # The run died unfinished: its journal entry survived the kill.
+        assert (root / "queue" / "victim.json").exists()
+        assert not (root / "results" / "victim.json").exists()
+
+        # A fresh daemon on the same state dir resumes and finishes it.
+        with serve_daemon(root, 1) as (_proc, client):
+            record = client.status("victim")
+            assert record["recovered"] is True
+            outcome = client.wait("victim", timeout=300)
+            assert outcome.ok, outcome.error
+            resumed_from = outcome.metadata["executor"]["resumed_from_step"]
+            assert resumed_from is not None and resumed_from >= 20
+            assert_results_bit_identical(uninterrupted, outcome)
+            assert not (root / "queue" / "victim.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Protocol surface (in-process daemon: fast, no subprocess)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def server(tmp_path):
+    daemon = ScenarioServer(tmp_path / "state", port=0, workers=0)
+    daemon.start()
+    yield daemon
+    daemon.stop(drain=True)
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(port=server.port, timeout=30.0)
+
+
+class TestProtocol:
+    def test_health_and_scenarios(self, client):
+        health = client.health()
+        assert health["ok"] and health["workers"] == 0
+        assert health["queued"] == health["running"] == 0
+        assert set(client.scenarios()) == set(default_registry().names())
+
+    def test_submit_by_name_with_overrides(self, client):
+        ack = client.submit("maxwell-vacuum",
+                            overrides={"runtime.num_steps": 4})
+        outcome = client.wait(ack["run_id"], timeout=60)
+        assert outcome.ok
+        assert outcome.metadata["spec"]["runtime"]["num_steps"] == 4
+
+    def test_results_are_bit_identical_to_inline(self, client):
+        spec = smoke_spec("localmode-switch", num_steps=4)
+        inline = BatchRunner().run([spec], raise_on_error=True)[0]
+        outcome = client.wait(client.submit(spec)["run_id"], timeout=60)
+        assert outcome.ok
+        assert_results_bit_identical(inline, outcome)
+
+    def test_unknown_run_id_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.status("nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            list(client.events("nope"))
+        assert excinfo.value.status == 404
+
+    def test_unknown_scenario_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.submit("no-such-scenario")
+        assert excinfo.value.status == 404
+        assert "unknown scenario" in str(excinfo.value)
+
+    def test_invalid_spec_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"name": "x", "engine": "not-an-engine"})
+        assert excinfo.value.status == 400
+
+    def test_duplicate_run_id_is_409(self, client):
+        spec = smoke_spec("maxwell-vacuum")
+        client.submit(spec, run_id="twice")
+        client.wait("twice", timeout=60)
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(spec, run_id="twice")
+        assert excinfo.value.status == 409
+
+    def test_auto_run_ids_skip_taken_ids(self, client):
+        # A client-claimed id in the auto sequence must not be reissued (it
+        # would overwrite the record and double-queue the id).
+        spec = smoke_spec("maxwell-vacuum")
+        client.submit(spec, run_id="r000001")
+        auto = [client.submit(spec)["run_id"] for _ in range(2)]
+        assert "r000001" not in auto
+        assert len(set(auto + ["r000001"])) == 3
+        for run_id in auto + ["r000001"]:
+            assert client.wait(run_id, timeout=60).ok
+
+    def test_auto_run_ids_skip_previous_incarnations(self, tmp_path):
+        # After a restart the sequence counter starts over; auto ids must not
+        # clobber results persisted by the previous daemon.
+        root = tmp_path / "reuse"
+        spec = smoke_spec("maxwell-vacuum")
+        with ScenarioServer(root, port=0, workers=0) as first:
+            client = ServeClient(port=first.port, timeout=30.0)
+            old_id = client.submit(spec)["run_id"]
+            client.wait(old_id, timeout=60)
+        with ScenarioServer(root, port=0, workers=0) as second:
+            client = ServeClient(port=second.port, timeout=30.0)
+            new_id = client.submit(spec)["run_id"]
+            assert new_id != old_id
+            assert client.wait(new_id, timeout=60).ok
+            assert client.status(old_id)["status"] == "done"
+
+    def test_path_traversal_run_id_is_400(self, client, tmp_path):
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(smoke_spec("maxwell-vacuum"),
+                          run_id="../../escape")
+        assert excinfo.value.status == 400
+        assert not (tmp_path.parent / "escape.json").exists()
+
+    def test_non_integer_checkpoint_every_is_400_not_a_dropped_connection(
+            self, client):
+        # Raw POST (the Python client coerces client-side): the daemon must
+        # answer 400 JSON, not crash the handler and drop the connection.
+        import http.client as http_client
+        import json as json_mod
+
+        connection = http_client.HTTPConnection("127.0.0.1", client.port,
+                                                timeout=30)
+        try:
+            connection.request(
+                "POST", "/v1/runs",
+                body=json_mod.dumps({"scenario": "md-nve",
+                                     "checkpoint_every": "ten"}),
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "checkpoint_every" in json_mod.loads(response.read())["error"]
+        finally:
+            connection.close()
+        assert client.ping()  # the daemon is still up
+
+    def test_bad_events_query_is_400(self, client):
+        import http.client as http_client
+        import json as json_mod
+
+        run_id = client.submit(smoke_spec("maxwell-vacuum"))["run_id"]
+        client.wait(run_id, timeout=60)
+        connection = http_client.HTTPConnection("127.0.0.1", client.port,
+                                                timeout=30)
+        try:
+            connection.request("GET", f"/v1/runs/{run_id}/events?from=abc")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "'from'" in json_mod.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_result_while_pending_is_409(self, tmp_path):
+        # A daemon that is never started executes nothing: the submission
+        # stays queued, so the result route must answer 409, not hang.
+        daemon = ScenarioServer(tmp_path / "s2", port=0, workers=0)
+        daemon.submit(smoke_spec("maxwell-vacuum").to_dict(), run_id="stuck")
+        with pytest.raises(ServerError) as excinfo:
+            daemon.result_payload("stuck")
+        assert excinfo.value.status == 409
+
+    def test_queue_bound_is_429(self, tmp_path):
+        daemon = ScenarioServer(tmp_path / "s3", port=0, workers=0,
+                                queue_size=2)
+        spec = smoke_spec("maxwell-vacuum").to_dict()
+        daemon.submit(spec)  # never started -> stays queued
+        daemon.submit(spec)
+        with pytest.raises(ServerError) as excinfo:
+            daemon.submit(spec)
+        assert excinfo.value.status == 429
+
+    def test_submissions_execute_in_fifo_order(self, client):
+        run_ids = [
+            client.submit(smoke_spec("maxwell-vacuum"),
+                          run_id=f"fifo-{i}")["run_id"]
+            for i in range(4)
+        ]
+        outcomes = [client.wait(run_id, timeout=60) for run_id in run_ids]
+        finished = [
+            outcome.metadata["executor"]["run_id"] for outcome in outcomes
+        ]
+        assert finished == run_ids
+        records = {r["run_id"]: r for r in client.runs()}
+        starts = [records[run_id]["started_at"] for run_id in run_ids]
+        assert starts == sorted(starts)
+
+    def test_event_stream_reports_checkpoints_then_done(self, client):
+        spec = smoke_spec("maxwell-vacuum", num_steps=6)
+        ack = client.submit(spec, run_id="ev", checkpoint_every=2)
+        events = list(client.events("ev", timeout=60))
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "done"
+        steps = [e["step"] for e in events if e["event"] == "checkpoint"]
+        assert steps == [2, 4, 6]
+        outcome = ServeClient.decode_outcome(events[-1]["outcome"])
+        assert outcome.ok and outcome.scenario == "maxwell-vacuum"
+
+    def test_shutdown_refuses_new_submissions(self, tmp_path):
+        daemon = ScenarioServer(tmp_path / "s4", port=0, workers=0)
+        daemon.start()
+        try:
+            client = ServeClient(port=daemon.port, timeout=30.0)
+            assert client.shutdown(drain=True)["ok"] is True
+            # Submissions race the teardown: either the daemon still answers
+            # (and must refuse with 503) or the socket is already gone.
+            with pytest.raises((ServeError, ServeUnavailable)):
+                client.submit(smoke_spec("maxwell-vacuum"))
+            deadline = time.monotonic() + 30
+            while client.ping():
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+        finally:
+            if not daemon._stopped.is_set():
+                daemon.stop(drain=True)
+
+    def test_journal_recovery_reruns_unfinished_submissions(self, tmp_path):
+        root = tmp_path / "s5"
+        spec = smoke_spec("md-langevin", num_steps=4)
+        inline = BatchRunner().run([spec], raise_on_error=True)[0]
+        # Daemon 1 journals two submissions but is never started — the
+        # accepted-but-unexecuted crash window.
+        dead = ScenarioServer(root, port=0, workers=0)
+        dead.submit(spec.to_dict(), run_id="lost-a")
+        dead.submit(spec.to_dict(), run_id="lost-b")
+        assert sorted(p.stem for p in (root / "queue").glob("*.json")) == \
+            ["lost-a", "lost-b"]
+
+        with ScenarioServer(root, port=0, workers=0) as daemon:
+            client = ServeClient(port=daemon.port, timeout=30.0)
+            for run_id in ("lost-a", "lost-b"):
+                assert client.status(run_id)["recovered"] is True
+                outcome = client.wait(run_id, timeout=60)
+                assert outcome.ok
+                assert_results_bit_identical(inline, outcome)
+        assert not list((root / "queue").glob("*.json"))
+
+    def test_finished_results_survive_daemon_restart(self, tmp_path):
+        root = tmp_path / "s6"
+        spec = smoke_spec("maxwell-vacuum", num_steps=4)
+        with ScenarioServer(root, port=0, workers=0) as first:
+            client = ServeClient(port=first.port, timeout=30.0)
+            before = client.wait(client.submit(spec, run_id="keeper")["run_id"],
+                                 timeout=60)
+        with ScenarioServer(root, port=0, workers=0) as second:
+            client = ServeClient(port=second.port, timeout=30.0)
+            record = client.status("keeper")
+            assert record["status"] == "done" and record["recovered"] is True
+            after = client.result("keeper")
+            assert_results_bit_identical(before, after)
+
+
+class TestServerValidation:
+    def test_constructor_rejects_bad_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            ScenarioServer(tmp_path, queue_size=0)
+        with pytest.raises(ValueError):
+            ScenarioServer(tmp_path, max_retries=-1)
+        with pytest.raises(ValueError):
+            ScenarioServer(tmp_path, checkpoint_every=0)
+        with pytest.raises(ValueError):
+            ScenarioServer(tmp_path, workers=-1)
+
+    def test_submit_validates_spec_before_journalling(self, tmp_path):
+        daemon = ScenarioServer(tmp_path / "s7", port=0, workers=0)
+        with pytest.raises(ServerError) as excinfo:
+            daemon.submit({"name": "bad", "engine": "nope"})
+        assert excinfo.value.status == 400
+        queue_dir = tmp_path / "s7" / "queue"
+        assert not (queue_dir.is_dir() and list(queue_dir.glob("*.json")))
