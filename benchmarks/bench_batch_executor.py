@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from common import print_table, write_result
+from common import finish, print_table
 
 from repro.api import BatchRunner, ExecutionService, default_registry
 
@@ -105,7 +105,7 @@ def main() -> None:
         ["mode", "workers", "wall_s", "speedup", "identical"],
         rows,
     )
-    write_result("BENCH_batch_executor", {
+    finish("BENCH_batch_executor", {
         "num_scenarios": len(specs),
         "num_steps": NUM_STEPS,
         "cpu_count": multiprocessing.cpu_count(),

@@ -19,7 +19,7 @@ from repro.md import AtomsSystem, LennardJones
 from repro.nn import AllegroLiteModel, Trainer, rattle_dataset
 from repro.xsnn.fidelity import expected_time_to_failure, time_to_failure_exponent
 
-from common import print_table, write_result
+from common import finish, print_table
 
 SYSTEM_SIZES = [10_000, 100_000, 1_000_000, 10_000_000]
 PAPER_EXPONENTS = {"allegro": -0.29, "allegro_legato": -0.14}
@@ -71,7 +71,7 @@ def test_fidelity_scaling_sam_vs_plain(benchmark):
     )
     print(f"plain Adam: loss={plain_loss:.3e} rmse={plain_rmse:.3e} | "
           f"SAM: loss={sam_loss:.3e} rmse={sam_rmse:.3e}")
-    write_result("fidelity_scaling", {
+    finish("fidelity_scaling", {
         "rows": rows,
         "training": {"plain_loss": plain_loss, "sam_loss": sam_loss,
                      "plain_rmse": plain_rmse, "sam_rmse": sam_rmse},

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import MLMDPipeline
 
-from common import print_table, write_result
+from common import finish, print_table
 
 EXCITATION_FRACTION = 0.8
 NUM_STEPS = 250
@@ -56,7 +56,7 @@ def test_fig3_photoswitching_of_skyrmion_superlattice(benchmark):
         "dark_charge": dark.topological_charge.tolist(),
         "pumped_excitation": pumped.excitation_fraction.tolist(),
     }
-    write_result("fig3_photoswitching", {"rows": rows, "series": series})
+    finish("fig3_photoswitching", {"rows": rows, "series": series})
 
     # Both runs start from the same 2x2 skyrmion superlattice (|Q| = 4).
     assert abs(pumped.topological_charge[0]) == pytest.approx(4.0, abs=0.2)

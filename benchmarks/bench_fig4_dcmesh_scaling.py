@@ -20,7 +20,7 @@ from repro.parallel import DCMESHCostModel
 from repro.parallel.scaling import run_scaling_study
 from repro.qd import KineticPropagator, NonlocalCorrection, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 WEAK_RANKS = [6144, 12288, 24576, 49152, 98304, 120000]
 STRONG_RANKS = [24576, 49152, 98304]
@@ -71,7 +71,7 @@ def test_fig4_dcmesh_weak_and_strong_scaling(benchmark):
         ["panel", "label", "ranks", "wall_seconds", "efficiency"],
         rows,
     )
-    write_result("fig4_dcmesh_scaling", {"rows": rows,
+    finish("fig4_dcmesh_scaling", {"rows": rows,
                                          "paper_strong_efficiency": PAPER_STRONG_EFFICIENCY})
 
     # Fig. 4a shape: wall-clock per MD step stays flat, efficiency ~1.

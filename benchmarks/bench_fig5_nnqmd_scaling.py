@@ -18,7 +18,7 @@ from repro.parallel import NNQMDCostModel
 from repro.parallel.scaling import run_scaling_study
 from repro.xsnn import ExcitedStateMixer
 
-from common import print_table, write_result
+from common import finish, print_table
 
 WEAK_RANKS = [7500, 15000, 30000, 60000, 120000]
 WEAK_GRANULARITIES = [160_000, 640_000, 10_240_000]
@@ -67,7 +67,7 @@ def test_fig5_nnqmd_weak_and_strong_scaling(benchmark):
         ["panel", "label", "ranks", "wall_seconds", "efficiency", "paper_efficiency"],
         rows,
     )
-    write_result("fig5_nnqmd_scaling", {"rows": rows, "paper_weak": PAPER_WEAK,
+    finish("fig5_nnqmd_scaling", {"rows": rows, "paper_weak": PAPER_WEAK,
                                         "paper_strong": PAPER_STRONG})
 
     # Fig. 5a shape: excellent weak scaling, ordered by granularity.

@@ -11,7 +11,7 @@ this benchmark times the retained references against the production paths for
 * the stencil Laplacian (per-term ``np.roll`` copies vs the fused in-place
   engine),
 
-and writes the rows as JSON via ``common.write_result`` like the other
+and writes the rows as JSON via ``common.finish`` like the other
 benches.
 """
 
@@ -28,7 +28,7 @@ from repro.md.neighborlist import build_pairs_reference
 from repro.perf.workspace import KernelWorkspace
 from repro.qd import KineticPropagator, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 N_ATOMS = 2400
 BOX = 38.0
@@ -118,7 +118,7 @@ def test_kernel_speedups():
         ["kernel", "old_s", "new_s", "speedup"],
         rows,
     )
-    write_result(
+    finish(
         "kernel_speedups",
         {
             "rows": rows,

@@ -17,7 +17,7 @@ from repro.grid import Grid3D
 from repro.precision.gemm import GemmMode
 from repro.qd import NonlocalCorrection, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 MODES = ["fp64", "fp32", "bf16", "bf16x2", "bf16x3"]
 NUM_STEPS = 20
@@ -55,7 +55,7 @@ def test_precision_ablation_of_nonlocal_correction(benchmark):
         ["mode", "relative_error_vs_fp64", "model_relative_speed"],
         rows,
     )
-    write_result("precision_ablation", {"rows": rows, "steps": NUM_STEPS})
+    finish("precision_ablation", {"rows": rows, "steps": NUM_STEPS})
 
     errors = {row["mode"]: row["relative_error_vs_fp64"] for row in rows}
     speeds = {row["mode"]: row["model_relative_speed"] for row in rows}

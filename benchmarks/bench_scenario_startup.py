@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 
-from common import print_table, write_result
+from common import finish, print_table
 
 from repro.api import BatchRunner, ScenarioSpec, build_engine, default_registry, run_scenario
 from repro.perf.workspace import KernelWorkspace
@@ -123,12 +123,11 @@ def main() -> None:
         [batch],
     )
 
-    path = write_result("BENCH_scenario_startup", {
+    finish("BENCH_scenario_startup", {
         "spec_parse": parse,
         "engine_construction": construction,
         "batch": batch,
     })
-    print(f"\nwrote {path}")
 
 
 if __name__ == "__main__":

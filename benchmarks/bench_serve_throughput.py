@@ -23,7 +23,7 @@ from __future__ import annotations
 import tempfile
 import time
 
-from common import print_table, write_result
+from common import finish, print_table
 
 from repro.api import ScenarioServer, ServeClient, WorkerPool, default_registry
 from repro.api.executor import execute_payload
@@ -124,8 +124,7 @@ def main(submissions: int = 20) -> None:
         ["scenario", "mode", "per_run_ms", "runs_per_s", "speedup_vs_cold"],
         rows,
     )
-    path = write_result("BENCH_serve_throughput", {"rows": rows})
-    print(f"\nwrote {path}")
+    finish("BENCH_serve_throughput", {"rows": rows})
 
 
 if __name__ == "__main__":

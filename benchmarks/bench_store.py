@@ -1,0 +1,184 @@
+"""Checkpoint-store scaling: v2 incremental blobs vs the v1 JSON layout.
+
+The v1 store wrote every snapshot as a self-contained JSON file embedding the
+*entire* recorded series so far, so a periodically-snapshotted run pays
+O(n^2) total serialization over its recorded length and the cost of each
+individual snapshot grows linearly as the run gets longer.  The v2 store
+(``repro/store/``) writes the engine state as a binary npz blob and appends
+each record to a segmented series log exactly once, so per-snapshot cost is
+O(state + new records) — independent of history length — and total bytes are
+O(n).
+
+This benchmark drives both formats through the same synthetic checkpoint
+stream (fixed-size engine state, one record per step, one snapshot every
+``SNAPSHOT_EVERY`` records) at increasing run lengths and reports
+
+* the wall time of the *last* snapshot (the per-snapshot cost at history
+  length n — flat for v2, linear for v1),
+* total serialization time across the run, and
+* total bytes on disk (sub-linear for v2 vs v1's O(n^2)),
+
+then anchors the model with a real engine (``maxwell-vacuum`` streaming
+snapshots through both stores).  Writes ``results/BENCH_store.json``
+(``--json out.json`` for a copy in the common schema).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import finish, print_table
+
+from repro.api import CheckpointStore, build_engine, default_registry
+
+#: Doubles in the synthetic engine state (a small-grid field snapshot).  Kept
+#: moderate so the *history* term — the thing v1 re-embeds into every
+#: snapshot and v2 stores exactly once — dominates at the longer run lengths,
+#: as it does in any long recorded run.
+STATE_DOUBLES = 512
+
+#: Doubles per recorded sample (a per-step observable vector).
+RECORD_DOUBLES = 48
+
+#: One snapshot every this many records.
+SNAPSHOT_EVERY = 5
+
+#: Recorded-run lengths to sweep.
+RUN_LENGTHS = (25, 50, 100, 200, 400)
+
+
+def _synthetic_stream(n_records: int):
+    """Yield (step, checkpoint) with a fixed state and growing history."""
+    rng = np.random.default_rng(42)
+    state_array = rng.standard_normal(STATE_DOUBLES).tolist()
+    field_sample = rng.standard_normal(RECORD_DOUBLES).tolist()
+    times: list = []
+    records = {"energy": [], "field": []}
+    for step in range(1, n_records + 1):
+        times.append(0.1 * step)
+        records["energy"].append(1.0 / step)
+        records["field"].append([x * step for x in field_sample])
+        if step % SNAPSHOT_EVERY == 0 or step == n_records:
+            yield step, {
+                "format": 1, "scenario": "bench", "engine": "synthetic",
+                "time": 0.1 * step, "step": step, "spec": {"seed": 0},
+                "state": {"psi": state_array, "clock": float(step)},
+                "times": list(times),
+                "records": {k: list(v) for k, v in records.items()},
+            }
+
+
+def _tree_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def bench_format(fmt: int, n_records: int) -> dict:
+    root = Path(tempfile.mkdtemp(prefix=f"bench-store-v{fmt}-"))
+    try:
+        store = CheckpointStore(root, format=fmt)
+        total = 0.0
+        last = 0.0
+        for _step, checkpoint in _synthetic_stream(n_records):
+            t0 = time.perf_counter()
+            store.save(checkpoint, run_id="r")
+            last = time.perf_counter() - t0
+            total += last
+        load_t0 = time.perf_counter()
+        payload = store.latest("bench", "r")
+        load_s = time.perf_counter() - load_t0
+        assert payload is not None and payload["step"] == n_records
+        assert len(payload["times"]) == n_records
+        return {"total_s": total, "last_save_s": last,
+                "bytes": _tree_bytes(root), "latest_load_s": load_s}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_real_engine() -> dict:
+    """Anchor: a real scenario streaming snapshots through both stores."""
+    spec = default_registry().get("maxwell-vacuum").with_overrides({
+        "runtime.num_steps": 100, "runtime.record_every": 1,
+    })
+    out = {}
+    for fmt in (1, 2):
+        root = Path(tempfile.mkdtemp(prefix=f"bench-store-real-v{fmt}-"))
+        try:
+            store = CheckpointStore(root, format=fmt)
+            engine = build_engine(spec)
+            t0 = time.perf_counter()
+            engine.run(checkpoint_every=SNAPSHOT_EVERY,
+                       on_checkpoint=lambda c: store.save(c, run_id="r"))
+            elapsed = time.perf_counter() - t0
+            checkpoint_s = engine.timers.report().get(
+                "checkpoint", {}
+            ).get("elapsed", 0.0)
+            out[f"v{fmt}"] = {
+                "run_s": elapsed,
+                "checkpoint_s": checkpoint_s,
+                "bytes": _tree_bytes(root),
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return out
+
+
+def main() -> None:
+    rows = []
+    for n_records in RUN_LENGTHS:
+        v1 = bench_format(1, n_records)
+        v2 = bench_format(2, n_records)
+        rows.append({
+            "records": n_records,
+            "v1_last_save_ms": 1e3 * v1["last_save_s"],
+            "v2_last_save_ms": 1e3 * v2["last_save_s"],
+            "v1_total_s": v1["total_s"],
+            "v2_total_s": v2["total_s"],
+            "v1_bytes": v1["bytes"],
+            "v2_bytes": v2["bytes"],
+            "bytes_ratio": v1["bytes"] / max(1, v2["bytes"]),
+        })
+    print_table(
+        "Checkpoint-store scaling (per-snapshot cost vs recorded length)",
+        ["records", "v1_last_save_ms", "v2_last_save_ms",
+         "v1_bytes", "v2_bytes", "bytes_ratio"],
+        rows,
+    )
+
+    # The headline claims, asserted so a regression fails the benchmark:
+    # v2's per-snapshot cost is ~flat in history length, v1's grows;
+    # v2's total bytes grow sub-linearly vs v1's quadratic trend.
+    short, long = rows[0], rows[-1]
+    v2_growth = long["v2_last_save_ms"] / max(1e-9, short["v2_last_save_ms"])
+    v1_growth = long["v1_last_save_ms"] / max(1e-9, short["v1_last_save_ms"])
+    length_ratio = long["records"] / short["records"]
+    print(f"\nper-snapshot cost growth over a {length_ratio:.0f}x longer run: "
+          f"v1 {v1_growth:.1f}x, v2 {v2_growth:.1f}x")
+    assert long["v2_bytes"] / short["v2_bytes"] < 1.5 * length_ratio, \
+        "v2 total bytes must stay ~linear in recorded length"
+    assert long["v1_bytes"] / long["v2_bytes"] > \
+        short["v1_bytes"] / short["v2_bytes"], \
+        "v1/v2 byte ratio must widen with run length (v1 is O(n^2))"
+
+    real = bench_real_engine()
+    print(f"real-engine anchor (maxwell-vacuum, 100 steps, snapshot every "
+          f"{SNAPSHOT_EVERY}): v1 checkpointing {real['v1']['checkpoint_s']:.3f}s "
+          f"/ {real['v1']['bytes']} B, v2 {real['v2']['checkpoint_s']:.3f}s "
+          f"/ {real['v2']['bytes']} B")
+
+    finish("BENCH_store", {
+        "state_doubles": STATE_DOUBLES,
+        "snapshot_every": SNAPSHOT_EVERY,
+        "rows": rows,
+        "per_snapshot_growth": {"v1": v1_growth, "v2": v2_growth,
+                                "length_ratio": length_ratio},
+        "real_engine": real,
+    })
+
+
+if __name__ == "__main__":
+    main()

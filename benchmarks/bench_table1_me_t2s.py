@@ -18,7 +18,7 @@ from repro.parallel import DCMESHCostModel, aurora
 from repro.perf import me_time_to_solution
 from repro.qd import KineticPropagator, NonlocalCorrection, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 #: Published SOTA runs (work, system, machine, seconds per QD step, electrons,
 #: effective speedup factor from larger usable time steps).
@@ -64,7 +64,7 @@ def test_table1_me_time_to_solution(benchmark):
     salmon = rows[2]["t2s_sec"]
     speedup = salmon / this_work
     print(f"speedup over SALMON: {speedup:.0f}x (paper: {PAPER_SPEEDUP_OVER_SALMON:.0f}x)")
-    write_result("table1_me_t2s", {"rows": rows, "speedup_over_salmon": speedup,
+    finish("table1_me_t2s", {"rows": rows, "speedup_over_salmon": speedup,
                                    "paper_this_work_t2s": PAPER_THIS_WORK_T2S})
 
     # Shape assertions: this work beats every SOTA entry by a large margin.

@@ -17,7 +17,7 @@ from repro.parallel import NNQMDCostModel
 from repro.perf import nnqmd_time_to_solution
 from repro.xsnn import ExcitedStateMixer
 
-from common import print_table, write_result
+from common import finish, print_table
 
 PAPER_SOTA_T2S = 7.091e-12      # Linker et al. 2022 on Theta
 PAPER_THIS_WORK_T2S = 1.876e-15  # this work on Aurora
@@ -51,7 +51,7 @@ def test_table2_xs_nnqmd_time_to_solution(benchmark):
     print_table("Table II: XS-NNQMD time-to-solution", ["work", "machine", "t2s_sec"], rows)
     improvement = sota["t2s_sec"] / this_work["t2s_sec"]
     print(f"improvement over SOTA: {improvement:.0f}x (paper: {PAPER_IMPROVEMENT:.0f}x)")
-    write_result("table2_xs_t2s", {
+    finish("table2_xs_t2s", {
         "rows": rows,
         "improvement": improvement,
         "local_seconds_per_atom_step": local_seconds_per_atom_step,

@@ -19,7 +19,7 @@ import pytest
 from repro.grid import Grid3D
 from repro.qd import KineticPropagator, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 PAPER_SPEEDUPS = {"baseline": 1.0, "reordered": 3.67, "blocked": 9.22, "device": 338.0}
 
@@ -69,7 +69,7 @@ def test_table3_kin_prop_optimisation_ladder(benchmark):
         ["implementation", "runtime_s", "speedup", "paper_speedup"],
         rows,
     )
-    write_result("table3_kinprop", {"rows": rows,
+    finish("table3_kinprop", {"rows": rows,
                                     "workload": {"orbitals": N_ORBITALS, "grid": GRID_POINTS}})
 
     speedups = [row["speedup"] for row in rows]

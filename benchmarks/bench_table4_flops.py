@@ -20,7 +20,7 @@ from repro.grid import Grid3D
 from repro.precision.gemm import MixedPrecisionGemm, gemm_flops
 from repro.qd import NonlocalCorrection, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 PAPER_ROWS = [
     {"orbitals": 256, "mode": "fp32", "paper_tflops": 5.22},
@@ -76,7 +76,7 @@ def test_table4_flops_vs_orbitals_and_precision(benchmark):
         rows,
     )
     print(f"measured local nlp_prop throughput: {measured_flops_per_s/1e9:.2f} GFLOP/s")
-    write_result("table4_flops", {"rows": rows,
+    finish("table4_flops", {"rows": rows,
                                   "measured_local_flops_per_s": measured_flops_per_s})
 
     by_key = {(r["orbitals"], r["mode"]): r["model_tflops"] for r in rows}

@@ -20,7 +20,7 @@ from repro.perf.flops import fft_flops
 from repro.precision.gemm import gemm_flops
 from repro.qd import KineticPropagator, NonlocalCorrection, WaveFunctions
 
-from common import print_table, write_result
+from common import finish, print_table
 
 PAPER_ROWS = [
     {"kernel": "CGEMM (1)", "paper_tflops": 18.72, "paper_pct_peak": 81.39},
@@ -89,7 +89,7 @@ def test_table5_hotspot_kernels(benchmark):
         ["kernel", "measured_gflops", "pct_of_local_gemm_peak", "paper_tflops", "paper_pct_peak"],
         rows,
     )
-    write_result("table5_kernels", {"rows": rows})
+    finish("table5_kernels", {"rows": rows})
 
     pct = {r["kernel"]: r["pct_of_local_gemm_peak"] for r in rows}
     # Shape: GEMM kernels near the dense peak, nlp_prop close behind, the

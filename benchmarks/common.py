@@ -1,18 +1,30 @@
 """Shared helpers for the benchmark harnesses.
 
-Every benchmark reproduces one table or figure of the paper: it computes the
-same rows/series the paper reports, prints them in a human-readable form, and
-writes a machine-readable JSON file next to this module (``results/``) so
-EXPERIMENTS.md can be regenerated from the artefacts.
+Every benchmark reproduces one table or figure of the paper (or measures one
+subsystem): it computes the same rows/series the paper reports, prints them
+in a human-readable form, and emits a machine-readable artefact through
+:func:`finish` — a **common schema** document written next to this module
+(``results/<name>.json``) and, when the benchmark was invoked with
+``--json out.json``, to the caller's path as well.  The schema::
+
+    {"schema": "repro-bench/1", "bench": <name>, "payload": {...}}
+
+keeps every ``bench_*.py`` consumable by the same tooling instead of each
+benchmark printing and discarding its numbers.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Version tag of the common benchmark-artefact schema.
+BENCH_SCHEMA = "repro-bench/1"
 
 
 def write_result(name: str, payload) -> Path:
@@ -21,6 +33,44 @@ def write_result(name: str, payload) -> Path:
     path = RESULTS_DIR / f"{name}.json"
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def parse_bench_args(argv: Optional[Sequence[str]] = None,
+                     ) -> argparse.Namespace:
+    """The shared benchmark CLI: ``--json out.json`` (and nothing else).
+
+    Unknown arguments are ignored, not rejected: several benchmarks are
+    pytest-driven test functions, where ``sys.argv`` belongs to pytest.
+    """
+    parser = argparse.ArgumentParser(
+        description="benchmark harness (see the module docstring)"
+    )
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="also write the schema document to PATH "
+                             "('-' = stdout)")
+    args, _unknown = parser.parse_known_args(argv)
+    return args
+
+
+def finish(name: str, payload, argv: Optional[Sequence[str]] = None) -> Path:
+    """Emit one benchmark's artefact in the common schema.
+
+    Writes ``results/<name>.json`` always, honours ``--json out.json`` from
+    the command line (``argv`` overrides ``sys.argv`` for tests), and
+    returns the results-dir path.
+    """
+    document = {"schema": BENCH_SCHEMA, "bench": name, "payload": payload}
+    path = write_result(name, document)
+    print(f"\nwrote {path}")
+    args = parse_bench_args(sys.argv[1:] if argv is None else argv)
+    if args.json_path == "-":
+        print(json.dumps(document, indent=2, default=float))
+    elif args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, default=float)
+        print(f"wrote {args.json_path}")
     return path
 
 

@@ -9,8 +9,11 @@
   TDDFT, DC-MESH, MESH, MD, local-mode, Maxwell and MLMD engines.
 * :mod:`repro.api.result`   — the unified :class:`RunResult` container and
   the :class:`RunFailure` batch error slot.
-* :mod:`repro.api.store`    — the on-disk :class:`CheckpointStore`
-  (atomic JSON snapshots keyed by scenario + run id).
+* :mod:`repro.api.store`    — the on-disk :class:`CheckpointStore` facade
+  over the :mod:`repro.store` subsystem (incremental binary snapshots,
+  append-only series log, manifest index, retention policies; the legacy
+  one-JSON-per-snapshot layout remains readable and writable via
+  ``format=1``).
 * :mod:`repro.api.registry` — named scenarios, :func:`run_scenario` and the
   shared-workspace :class:`BatchRunner`.
 * :mod:`repro.api.executor` — the process-parallel :class:`ExecutionService`

@@ -28,6 +28,11 @@ Subcommands
 ``status [run-id]`` / ``fetch <run-id> [--json PATH]`` / ``shutdown``
     Poll one run (or all of them), download a finished
     :class:`~repro.api.result.RunResult`, or stop the daemon.
+``store ls/inspect/migrate/compact DIR``
+    Maintain a checkpoint store root: list runs (format, snapshot counts,
+    sizes), inspect one run's manifest, upgrade v1 JSON trees to the v2
+    incremental layout in place, or compact (merge series segments, sweep
+    unreferenced files, apply a ``--retention`` policy).
 
 Examples
 --------
@@ -89,6 +94,11 @@ def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="resume from the latest snapshot in --checkpoint-dir "
                              "instead of starting over")
+    parser.add_argument("--keep", type=int, default=0, metavar="N",
+                        help="snapshots retained per run (0 = all)")
+    parser.add_argument("--retention", default=None, metavar="SPEC",
+                        help="snapshot retention policy, e.g. "
+                             "'keep=3,every=100,max-age=7d,max-bytes=1G'")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,6 +177,45 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-run resume-from-snapshot retries (default 1)")
     serve.add_argument("--keep", type=int, default=0, metavar="N",
                        help="snapshots retained per run (0 = all)")
+    serve.add_argument("--retention", default=None, metavar="SPEC",
+                       help="retention policy for snapshots AND persisted "
+                            "results (pruned on startup replay), e.g. "
+                            "'keep=50,max-age=7d,max-bytes=1G'; every=K "
+                            "terms apply to snapshot steps only")
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain checkpoint stores (ls / inspect / "
+             "migrate / compact)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list the runs under a store root")
+    store_ls.add_argument("root", help="checkpoint store root directory")
+    store_ls.add_argument("scenario", nargs="?", default=None,
+                          help="restrict to one scenario")
+    store_ls.add_argument("--json", dest="as_json", action="store_true",
+                          help="print machine-readable JSON")
+    store_inspect = store_sub.add_parser(
+        "inspect", help="show one run's manifest summary + integrity check")
+    store_inspect.add_argument("root", help="checkpoint store root directory")
+    store_inspect.add_argument("scenario", help="scenario name")
+    store_inspect.add_argument("run_id", help="run id")
+    store_migrate = store_sub.add_parser(
+        "migrate", help="upgrade v1 (per-snapshot JSON) runs to the v2 "
+                        "incremental layout, in place")
+    store_migrate.add_argument("root", help="checkpoint store root directory")
+    store_migrate.add_argument("--scenario", default=None,
+                               help="migrate only this scenario's runs")
+    store_migrate.add_argument("--keep-v1", action="store_true",
+                               help="leave the v1 JSON files behind")
+    store_compact = store_sub.add_parser(
+        "compact", help="merge series segments, sweep unreferenced files, "
+                        "optionally apply a retention policy")
+    store_compact.add_argument("root", help="checkpoint store root directory")
+    store_compact.add_argument("--scenario", default=None,
+                               help="compact only this scenario's runs")
+    store_compact.add_argument("--retention", default=None, metavar="SPEC",
+                               help="also prune snapshots by this policy")
 
     submit = sub.add_parser("submit", help="queue a run on a serve daemon")
     submit.add_argument("scenario", help="registered scenario name")
@@ -273,9 +322,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise ValueError("--resume requires --checkpoint-dir")
     if args.resume:
-        # Existence check only (steps() is a directory scan): checkpoints are
-        # complete sessions and can be large — the executor parses the real
-        # payload exactly once, on the resume path itself.
+        # Existence check only (steps() is a manifest lookup, or a directory
+        # scan on pre-migration trees): checkpoints are complete sessions and
+        # can be large — the executor parses the real payload exactly once,
+        # on the resume path itself.
         if not CheckpointStore(args.checkpoint_dir).steps(spec.name, args.run_id):
             raise ValueError(
                 f"--resume: no checkpoint for scenario {spec.name!r} run "
@@ -290,6 +340,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         max_retries=0,
+        keep=args.keep,
+        retention=args.retention,
     )
     outcome = service.run([spec], run_ids=[args.run_id], resume=args.resume)[0]
     if not outcome.ok:
@@ -324,6 +376,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         max_retries=args.max_retries,
+        keep=args.keep,
+        retention=args.retention,
     )
     outcomes = service.run(specs, resume=args.resume)
 
@@ -356,6 +410,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         max_retries=args.max_retries,
         keep=args.keep,
+        retention=args.retention,
     )
     server.start()
     # The flush matters: supervisors (and the test harness) parse this line
@@ -437,6 +492,22 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return _print_outcome(outcome, args)
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import cli as store_cli
+
+    if args.store_command == "ls":
+        return store_cli.cmd_ls(args.root, scenario=args.scenario,
+                                as_json=args.as_json)
+    if args.store_command == "inspect":
+        return store_cli.cmd_inspect(args.root, args.scenario, args.run_id)
+    if args.store_command == "migrate":
+        return store_cli.cmd_migrate(args.root, scenario=args.scenario,
+                                     keep_v1=args.keep_v1)
+    assert args.store_command == "compact"
+    return store_cli.cmd_compact(args.root, scenario=args.scenario,
+                                 retention=args.retention)
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     ack = _client(args).shutdown(drain=not args.no_drain)
     print(f"daemon at {args.host}:{args.port} stopping "
@@ -456,6 +527,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status": lambda: _cmd_status(args),
         "fetch": lambda: _cmd_fetch(args),
         "shutdown": lambda: _cmd_shutdown(args),
+        "store": lambda: _cmd_store(args),
     }
     try:
         return commands[args.command]()

@@ -43,6 +43,9 @@ from repro.api.result import RunResult, _plain, revive
 from repro.api.spec import ScenarioSpec
 from repro.perf.timers import TimerRegistry
 from repro.perf.workspace import KernelWorkspace, get_workspace
+# CheckpointError is defined with the storage subsystem (which must raise it
+# without importing the API layer) and re-exported here, its historical home.
+from repro.store.errors import CheckpointError
 from repro.utils.validation import validate_run_args
 
 #: Version stamp written into every checkpoint payload.
@@ -50,10 +53,6 @@ CHECKPOINT_FORMAT = 1
 
 #: Absolute tolerance when validating the restored clock against the snapshot.
 _TIME_ATOL = 1e-9
-
-
-class CheckpointError(ValueError):
-    """A checkpoint payload is malformed or does not match the engine/spec."""
 
 
 @runtime_checkable

@@ -51,6 +51,7 @@ from repro.api.result import RunFailure, RunResult
 from repro.api.spec import ScenarioSpec
 from repro.api.store import CheckpointStore
 from repro.perf.workspace import KernelWorkspace
+from repro.store.retention import describe_retention, parse_retention
 
 #: Per-process workspace, created once per worker by :func:`_worker_init` so
 #: every run a worker executes shares the same kernel caches.
@@ -75,7 +76,9 @@ def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
     on_checkpoint = None
     if payload.get("checkpoint_dir"):
         store = CheckpointStore(
-            payload["checkpoint_dir"], keep=int(payload.get("keep", 0))
+            payload["checkpoint_dir"],
+            keep=int(payload.get("keep", 0)),
+            retention=payload.get("retention") or None,
         )
         on_checkpoint = lambda ckpt: store.save(ckpt, run_id=run_id)  # noqa: E731
 
@@ -269,6 +272,11 @@ class ExecutionService:
     keep:
         Per-run snapshot retention forwarded to :class:`CheckpointStore`
         (0 keeps every snapshot).
+    retention:
+        Optional richer retention policy (a
+        ``"keep=3,max-age=7d,max-bytes=1G"`` spec string or a
+        :class:`~repro.store.retention.RetentionPolicy`), forwarded to each
+        worker's store alongside ``keep``.
     mp_context:
         Optional ``multiprocessing`` context; defaults to ``fork`` where
         available.
@@ -286,6 +294,7 @@ class ExecutionService:
                  checkpoint_every: Optional[int] = None,
                  max_retries: int = 1,
                  keep: int = 0,
+                 retention=None,
                  mp_context=None,
                  pool: Optional[WorkerPool] = None) -> None:
         if workers is None:
@@ -308,6 +317,19 @@ class ExecutionService:
         )
         self.max_retries = int(max_retries)
         self.keep = int(keep)
+        # Normalised to the round-trippable spec string so payloads stay
+        # JSON-able across process (and daemon-journal) boundaries; also
+        # validates the spec before any worker ever sees it.
+        try:
+            self.retention = describe_retention(
+                parse_retention(retention)
+            ) or None
+        except ValueError as exc:
+            raise ValueError(
+                "executor retention must be expressible as a spec string "
+                "(keep=/every=/max-age=/max-bytes= terms) because it is "
+                f"shipped to worker processes as JSON: {exc}"
+            ) from exc
         self._mp_context = mp_context
         self._pool = pool
         self._owns_pool = pool is None
@@ -341,6 +363,7 @@ class ExecutionService:
             "checkpoint_dir": self.checkpoint_dir,
             "checkpoint_every": self.checkpoint_every,
             "keep": self.keep,
+            "retention": self.retention,
             "resume": bool(resume),
             "attempt": int(attempt),
         }

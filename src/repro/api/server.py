@@ -16,7 +16,11 @@ Durability is filesystem-first, sharing the existing checkpoint machinery:
 * workers stream periodic session snapshots into the shared
   :class:`~repro.api.store.CheckpointStore` under ``<root>/checkpoints``;
 * finished outcomes are persisted to ``<root>/results/<run_id>.json`` and the
-  journal entry is removed.
+  journal entry is removed;
+* with a ``retention`` policy the startup replay also *house-keeps* the root:
+  dead journal entries (result already persisted) are dropped instead of
+  re-run, and persisted results outside the policy are pruned together with
+  their checkpoint runs, so a long-lived state directory stays bounded.
 
 A daemon that is killed (crash, OOM, ``kill -9``) therefore loses at most
 ``checkpoint_every`` steps of work: on restart it rescans the journal and
@@ -63,6 +67,10 @@ from repro.api.executor import WorkerPool
 from repro.api.registry import default_registry
 from repro.api.spec import ScenarioSpec
 from repro.api.store import CheckpointStore, atomic_write_json, validate_key
+from repro.store.retention import (
+    CompositePolicy, KeepEvery, RetentionPolicy, StoredItem,
+    describe_retention, parse_retention,
+)
 
 #: Wire-protocol version prefix of every route.
 API_PREFIX = "/v1"
@@ -86,6 +94,21 @@ _POOL_BREAK_ALLOWANCE = 3
 
 #: Terminal record states.
 _FINISHED = ("done", "failed")
+
+
+def _without_keep_every(policy: Optional[RetentionPolicy],
+                        ) -> Optional[RetentionPolicy]:
+    """The policy with its ``every=K`` terms stripped (step-based rules have
+    no meaning for chronological artefacts like persisted results)."""
+    if policy is None or isinstance(policy, KeepEvery):
+        return None
+    if isinstance(policy, CompositePolicy):
+        rules = [rule for rule in policy.rules
+                 if not isinstance(rule, KeepEvery)]
+        if not rules:
+            return None
+        return rules[0] if len(rules) == 1 else CompositePolicy(rules)
+    return policy
 
 
 class ServerError(RuntimeError):
@@ -158,12 +181,20 @@ class ScenarioServer:
         or a worker death.
     keep:
         Snapshot retention per run forwarded to the checkpoint store.
+    retention:
+        Optional retention policy (``"keep=3,max-age=7d,max-bytes=1G"`` spec
+        string or a :class:`~repro.store.retention.RetentionPolicy`).  It is
+        forwarded to the workers' checkpoint stores alongside ``keep`` *and*
+        governs the daemon's own housekeeping: on startup replay, persisted
+        results that fall outside the policy are pruned together with their
+        checkpoint runs, so the state directory stops growing without bound.
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  workers: int = 1, queue_size: int = 64,
                  checkpoint_every: Optional[int] = None,
                  max_retries: int = 1, keep: int = 0,
+                 retention=None,
                  mp_context=None) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
@@ -179,7 +210,18 @@ class ScenarioServer:
             int(checkpoint_every) if checkpoint_every is not None else None
         )
         self.max_retries = int(max_retries)
-        self.store = CheckpointStore(self.root / "checkpoints", keep=keep)
+        self.retention = parse_retention(retention)
+        try:
+            self.retention_spec = describe_retention(self.retention) or None
+        except ValueError as exc:
+            raise ValueError(
+                "daemon retention must be expressible as a spec string "
+                "(keep=/every=/max-age=/max-bytes= terms) because it is "
+                f"shipped to worker processes as JSON: {exc}"
+            ) from exc
+        self.store = CheckpointStore(
+            self.root / "checkpoints", keep=keep, retention=self.retention
+        )
         self.pool = WorkerPool(workers, mp_context=mp_context)
         self.started_at = time.time()
 
@@ -250,6 +292,15 @@ class ScenarioServer:
                 validate_key(run_id, "run_id")
             except ValueError:
                 continue  # a journal file this daemon would never have written
+            if self._result_path(run_id).exists():
+                # A dead journal entry: the previous daemon crashed between
+                # persisting the result and unlinking the journal.  The run
+                # is finished — replaying it would execute it again.
+                try:
+                    self._journal_path(run_id).unlink()
+                except OSError:
+                    pass
+                continue
             record = RunRecord(
                 run_id=run_id,
                 seq=int(entry.get("seq", 0)),
@@ -262,6 +313,64 @@ class ScenarioServer:
             self._records[run_id] = record
             self._queue.append(run_id)
             self._seq = max(self._seq, record.seq + 1)
+
+    def _housekeep(self) -> None:
+        """Bound the state directory on startup replay.
+
+        Persisted results grow without bound on a long-lived root; when the
+        daemon has a retention policy, results falling outside it are pruned
+        together with their checkpoint run directories.  Results are ordered
+        chronologically (mtime), so ``keep=N`` reads "the newest N results",
+        ``max-age``/``max-bytes`` behave as for snapshots, and — as with
+        snapshots — the newest result always survives.  ``every=K`` terms
+        apply to snapshot *steps* only and are ignored here: a result has no
+        step, and "mtime divisible by K" would delete ~everything.
+        """
+        policy = _without_keep_every(self.retention)
+        if policy is None or not self._results_dir.is_dir():
+            return
+        entries = []
+        for path in self._results_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path, stat))
+        entries.sort(key=lambda pair: (pair[1].st_mtime, pair[0].name))
+        now = time.time()
+        # order = mtime seconds, not the list index: an index would be
+        # re-numbered after every pruning pass, so an `every=K` term would
+        # keep different survivors on each restart and erode the result set.
+        # mtimes are stable, so repeated housekeeping is idempotent.
+        items = [
+            StoredItem(key=path.name, order=int(stat.st_mtime),
+                       bytes=stat.st_size,
+                       age_s=max(0.0, now - stat.st_mtime))
+            for path, stat in entries
+        ]
+        doomed = policy.prunable(items)
+        for path, _ in entries:
+            if path.name not in doomed or path.stem in self._records:
+                continue
+            self._prune_result(path)
+
+    def _prune_result(self, path: Path) -> None:
+        """Delete one persisted result and its checkpoint run directory."""
+        run_id = path.stem
+        outcome = self._load_outcome(run_id) or {}
+        summary = outcome.get("ok") or outcome.get("failure") or {}
+        scenario = summary.get("scenario")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if scenario:
+            import shutil
+
+            try:
+                shutil.rmtree(self.store.run_dir(str(scenario), run_id))
+            except (OSError, ValueError):
+                pass
 
     # ------------------------------------------------------------------
     # Submission + scheduling
@@ -360,6 +469,7 @@ class ScenarioServer:
             "checkpoint_dir": str(self.store.root),
             "checkpoint_every": record.checkpoint_every,
             "keep": self.store.keep,
+            "retention": self.retention_spec,
             "resume": bool(record.resume),
             "attempt": record.attempts + 1,
         }
@@ -583,6 +693,7 @@ class ScenarioServer:
         self._results_dir.mkdir(parents=True, exist_ok=True)
         with self._wake:
             self._recover()
+        self._housekeep()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler",
             daemon=True,

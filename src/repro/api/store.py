@@ -1,111 +1,110 @@
-"""On-disk checkpoint persistence for resumable sessions.
+"""On-disk checkpoint persistence: the compatibility facade over ``repro.store``.
 
-A :class:`CheckpointStore` keeps the JSON snapshots emitted by
-:meth:`repro.api.engine.EngineAdapter.checkpoint` under one root directory,
-keyed by scenario name and run id::
+:class:`CheckpointStore` keeps the API every existing caller grew up with
+(``save`` / ``load`` / ``latest`` / ``steps`` / ``scenarios`` / ``run_ids``,
+payload-keyed by scenario name and run id) while the actual storage now lives
+in the :mod:`repro.store` subsystem:
 
-    <root>/<scenario>/<run_id>/step-00000040.json
+* ``format=2`` (the default) is the incremental
+  :class:`~repro.store.runstore.RunStore`: one binary npz blob per
+  engine-state snapshot, an append-only segmented series log that records
+  observables exactly once, and a per-run ``MANIFEST.json`` index so
+  ``latest()`` and ``steps()`` are O(1) lookups instead of directory scans.
+  Run directories written by the old layout are still *read* transparently
+  (resume on a pre-migration tree works before ``repro store migrate`` runs).
+* ``format=1`` is the previous release's code path
+  (:class:`~repro.store.legacy.LegacyCheckpointStore`: one self-contained
+  JSON file per snapshot) — kept for compatibility testing and for CI's
+  migration job, which uses it to generate genuine v1 trees.
 
-Writes are atomic (temp file + ``os.replace`` in the destination directory),
-so a process killed mid-write never leaves a truncated snapshot behind — the
-property the crash-resume path of :class:`repro.api.executor.ExecutionService`
-relies on.  ``latest()`` returns the highest-step snapshot of a run, which is
-exactly what a restarted worker feeds to ``EngineAdapter.resume``.
+Retention goes beyond the historical ``keep=N``: ``retention`` accepts any
+:func:`repro.store.retention.parse_retention` spec
+(``"keep=5,every=100,max-age=7d,max-bytes=1G"``) or a built policy; ``keep``
+remains as sugar for ``keep=N`` and composes with it.
+
+Writes remain atomic and crash-safe (temp file + ``os.replace``; the v2
+manifest rewrite is the commit point), so a process killed mid-write never
+leaves a truncated snapshot behind — the property the crash-resume paths of
+:class:`repro.api.executor.ExecutionService` and the serving daemon rely on.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import re
-import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-from repro.api.engine import CheckpointError
+from repro.store import (
+    LegacyCheckpointStore, RunStore, STORE_FORMAT,
+    atomic_write_json, validate_key,
+)
+from repro.store.retention import (
+    CompositePolicy, KeepLast, RetentionLike, RetentionPolicy, parse_retention,
+)
 
-# {8,}: step numbers >= 10^8 spill past the zero-padding; they must still be
-# visible to steps()/latest()/pruning.
-_STEP_FILE = re.compile(r"^step-(\d{8,})\.json$")
-
-#: How many full directory rescans ``latest()`` tolerates when concurrent
-#: pruning keeps deleting the snapshots it scanned before giving up.
-_LATEST_RESCAN_LIMIT = 8
-_BAD_KEY = re.compile(r"[^A-Za-z0-9._-]")
-
-
-def _key(name: str, what: str) -> str:
-    """Validate a scenario/run-id path component (no separators, non-empty)."""
-    name = str(name)
-    if not name:
-        raise ValueError(f"{what} must be non-empty")
-    if _BAD_KEY.search(name) or name.startswith("."):
-        raise ValueError(
-            f"{what} {name!r} may only contain letters, digits, '.', '_' "
-            "and '-' (and must not start with '.')"
-        )
-    return name
+__all__ = ["CheckpointStore", "atomic_write_json", "validate_key"]
 
 
-def validate_key(name: str, what: str = "key") -> str:
-    """Public form of the path-component validation (used by the serving
-    daemon for client-supplied run ids before they touch the filesystem)."""
-    return _key(name, what)
-
-
-def atomic_write_json(path, payload: Any) -> Path:
-    """Atomically persist ``payload`` as JSON at ``path`` (temp + rename).
-
-    The one atomic-write discipline of the whole state layer — checkpoint
-    snapshots, the daemon's submission journal and its persisted results all
-    go through here: write to a dot-prefixed temp file in the destination
-    directory, fsync, then ``os.replace``, so a process killed mid-write
-    never leaves a truncated file behind.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(payload)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".tmp-{path.stem}-", suffix=".json", dir=path.parent
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+def _combine_retention(keep: int, retention: RetentionLike,
+                       ) -> Optional[RetentionPolicy]:
+    policy = parse_retention(retention)
+    if keep:
+        keep_rule = KeepLast(int(keep))
+        if policy is None:
+            return keep_rule
+        return CompositePolicy([keep_rule, policy])
+    return policy
 
 
 class CheckpointStore:
-    """JSON checkpoint files keyed by ``(scenario, run_id)`` with atomic writes.
+    """Checkpoint snapshots keyed by ``(scenario, run_id)`` under one root.
 
     Parameters
     ----------
     root:
         Directory the store lives in; created lazily on first save.
     keep:
-        When positive, prune each run's directory down to the newest ``keep``
-        snapshots after every save (older snapshots are no longer needed once
-        a later one exists — resume always starts from ``latest()``).  0 keeps
-        everything.
+        When positive, retain only the newest ``keep`` snapshots of each run
+        (sugar for a ``keep=N`` retention rule; 0 keeps everything).
+    retention:
+        Optional richer policy — a spec string such as
+        ``"keep=3,max-bytes=1G"``, or a
+        :class:`~repro.store.retention.RetentionPolicy`.  Composes with
+        ``keep``.  Ignored by the legacy ``format=1`` engine, which only
+        understands ``keep``.
+    format:
+        On-disk format to *write*: 2 (default, incremental binary) or 1
+        (the previous per-snapshot-JSON layout).  Reading auto-detects.
     """
 
-    def __init__(self, root, keep: int = 0) -> None:
+    def __init__(self, root, keep: int = 0,
+                 retention: RetentionLike = None,
+                 format: int = STORE_FORMAT) -> None:
         self.root = Path(root)
         if keep < 0:
             raise ValueError("keep must be >= 0")
         self.keep = int(keep)
+        self.format = int(format)
+        self._impl: Union[RunStore, LegacyCheckpointStore]
+        if self.format == 1:
+            if parse_retention(retention) is not None:
+                raise ValueError(
+                    "retention policies need format=2 (the legacy v1 layout "
+                    "only supports keep=N)"
+                )
+            self._impl = LegacyCheckpointStore(root, keep=self.keep)
+        elif self.format == STORE_FORMAT:
+            self._impl = RunStore(
+                root, retention=_combine_retention(self.keep, retention)
+            )
+        else:
+            raise ValueError(
+                f"unknown checkpoint store format {format!r} "
+                f"(known: 1, {STORE_FORMAT})"
+            )
 
     # ------------------------------------------------------------------
     def run_dir(self, scenario: str, run_id: str = "default") -> Path:
-        return self.root / _key(scenario, "scenario") / _key(run_id, "run_id")
+        return self._impl.run_dir(scenario, run_id)
 
     def save(self, checkpoint: Dict[str, Any], run_id: str = "default") -> Path:
         """Atomically persist one checkpoint payload; returns its path.
@@ -114,113 +113,31 @@ class CheckpointStore:
         itself, so ``functools.partial(store.save, run_id=...)`` (or a
         lambda) is directly usable as an ``on_checkpoint`` sink.
         """
-        if "scenario" not in checkpoint or "step" not in checkpoint:
-            raise CheckpointError(
-                "checkpoint payload is missing 'scenario' or 'step'"
-            )
-        step = int(checkpoint["step"])
-        if step < 0:
-            raise CheckpointError("checkpoint step must be >= 0")
-        directory = self.run_dir(str(checkpoint["scenario"]), run_id)
-        path = atomic_write_json(directory / f"step-{step:08d}.json", checkpoint)
-        if self.keep:
-            self._prune(directory)
-        return path
+        return self._impl.save(checkpoint, run_id=run_id)
 
-    def _prune(self, directory: Path) -> None:
-        # Sort numerically: past 10^8 the zero-padding overflows and a
-        # lexicographic sort would rank the newest snapshot first.
-        files = sorted(
-            (p for p in directory.iterdir() if _STEP_FILE.match(p.name)),
-            key=lambda p: int(_STEP_FILE.match(p.name).group(1)),
-        )
-        for stale in files[: max(0, len(files) - self.keep)]:
-            try:
-                stale.unlink()
-            except OSError:
-                pass  # concurrent pruning by another worker is benign
-
-    # ------------------------------------------------------------------
     def steps(self, scenario: str, run_id: str = "default") -> List[int]:
         """Step numbers with stored snapshots, ascending."""
-        directory = self.run_dir(scenario, run_id)
-        if not directory.is_dir():
-            return []
-        found = []
-        for path in directory.iterdir():
-            match = _STEP_FILE.match(path.name)
-            if match:
-                found.append(int(match.group(1)))
-        return sorted(found)
+        return self._impl.steps(scenario, run_id)
 
     def load(self, scenario: str, run_id: str = "default",
              step: Optional[int] = None) -> Dict[str, Any]:
         """Load one snapshot (the latest when ``step`` is None)."""
-        if step is None:
-            available = self.steps(scenario, run_id)
-            if not available:
-                raise CheckpointError(
-                    f"no checkpoints stored for scenario {scenario!r} "
-                    f"run {run_id!r} under {self.root}"
-                )
-            step = available[-1]
-        path = self.run_dir(scenario, run_id) / f"step-{int(step):08d}.json"
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except FileNotFoundError:
-            raise CheckpointError(f"no checkpoint at {path}") from None
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        return self._impl.load(scenario, run_id, step)
 
     def latest(self, scenario: str, run_id: str = "default",
                ) -> Optional[Dict[str, Any]]:
         """The highest-step snapshot of a run, or ``None`` when there is none.
 
-        Safe against concurrent writers on the same run id: another process
-        saving with ``keep=N`` prunes old snapshots *between* this method's
-        directory scan and its read, so the file picked from the scan can be
-        gone by the time it is opened (saves are atomic renames, so files
-        vanish whole — they are never truncated).  A vanished snapshot only
-        ever means a newer one exists: fall back through the scanned steps in
-        descending order and rescan the directory when the whole scan went
-        stale, rather than surfacing a spurious ``CheckpointError``.  Only a
-        *missing* file is tolerated — a corrupt (unparsable) snapshot is a
-        real store fault and raises immediately.
+        Safe against concurrent writers pruning the same run id: see
+        :meth:`repro.store.runstore.RunStore.latest`.
         """
-        directory = self.run_dir(scenario, run_id)
-        for _ in range(_LATEST_RESCAN_LIMIT):
-            available = self.steps(scenario, run_id)
-            if not available:
-                return None
-            for step in reversed(available):
-                path = directory / f"step-{int(step):08d}.json"
-                try:
-                    with open(path, "r", encoding="utf-8") as handle:
-                        return json.load(handle)
-                except FileNotFoundError:
-                    continue  # pruned since the scan — try an older one
-                except json.JSONDecodeError as exc:
-                    raise CheckpointError(
-                        f"corrupt checkpoint {path}: {exc}"
-                    ) from exc
-        raise CheckpointError(
-            f"snapshots of scenario {scenario!r} run {run_id!r} under "
-            f"{self.root} kept vanishing across {_LATEST_RESCAN_LIMIT} "
-            "directory scans; the store is being pruned faster than it can "
-            "be read"
-        )
+        return self._impl.latest(scenario, run_id)
 
     # ------------------------------------------------------------------
     def scenarios(self) -> List[str]:
         """Scenario names with at least one stored run directory."""
-        if not self.root.is_dir():
-            return []
-        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        return self._impl.scenarios()
 
     def run_ids(self, scenario: str) -> List[str]:
         """Run ids stored for one scenario."""
-        directory = self.root / _key(scenario, "scenario")
-        if not directory.is_dir():
-            return []
-        return sorted(p.name for p in directory.iterdir() if p.is_dir())
+        return self._impl.run_ids(scenario)

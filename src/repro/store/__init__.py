@@ -1,0 +1,57 @@
+"""repro.store: incremental checkpoint storage.
+
+The storage subsystem behind :class:`repro.api.store.CheckpointStore` (which
+remains the thin compatibility facade the rest of the code talks to):
+
+* :mod:`repro.store.runstore`  — :class:`RunStore`, the v2 store: one binary
+  npz blob per engine-state snapshot, an append-only segmented series log
+  that records observables exactly once, and a per-run ``MANIFEST.json``
+  index making ``latest()``/``steps()``/resume O(1) lookups.
+* :mod:`repro.store.codec`     — the state-blob codec (plain JSON-able
+  payloads <-> npz skeleton + arrays, bit-exact including ``-0.0``/0-d/
+  complex leaves).
+* :mod:`repro.store.series`    — the binary frame format and segment log.
+* :mod:`repro.store.manifest`  — the format-versioned run index.
+* :mod:`repro.store.retention` — pluggable pruning policies
+  (``keep=N``, ``every=K``, ``max-age``, ``max-bytes``) and
+  :func:`parse_retention` for spec strings.
+* :mod:`repro.store.legacy`    — the v1 one-JSON-file-per-snapshot layout
+  (still written via ``format=1`` and read transparently as a fallback).
+* :mod:`repro.store.migrate`   — in-place v1 -> v2 upgrade + compaction.
+* :mod:`repro.store.cli`       — ``repro store ls/inspect/migrate/compact``.
+
+This package deliberately never imports :mod:`repro.api`: it operates on the
+plain checkpoint payload dicts the engine layer emits, which is what lets
+:mod:`repro.api.engine` re-export :class:`CheckpointError` from here without
+an import cycle.
+"""
+
+from repro.store.errors import CheckpointError, StoreFormatError
+from repro.store.legacy import LegacyCheckpointStore
+from repro.store.manifest import STORE_FORMAT
+from repro.store.retention import (
+    CompositePolicy, KeepEvery, KeepLast, MaxAge, MaxBytes, RetentionPolicy,
+    StoredItem, describe_retention, parse_retention,
+)
+from repro.store.runstore import RunStore
+from repro.store.util import atomic_write_bytes, atomic_write_json, validate_key
+
+__all__ = [
+    "CheckpointError",
+    "CompositePolicy",
+    "KeepEvery",
+    "KeepLast",
+    "LegacyCheckpointStore",
+    "MaxAge",
+    "MaxBytes",
+    "RetentionPolicy",
+    "RunStore",
+    "STORE_FORMAT",
+    "StoreFormatError",
+    "StoredItem",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "describe_retention",
+    "parse_retention",
+    "validate_key",
+]

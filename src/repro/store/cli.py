@@ -1,0 +1,99 @@
+"""Implementation of the ``repro store`` CLI subcommands.
+
+Argument wiring lives in :mod:`repro.api.cli` (so ``python -m repro store ls``
+shares the one front door); the behaviour lives here with the subsystem it
+operates on.
+
+Subcommands::
+
+    repro store ls DIR [scenario]             runs, snapshot counts, sizes
+    repro store inspect DIR scenario run_id   one run's manifest summary
+    repro store migrate DIR [--scenario S] [--keep-v1]
+    repro store compact DIR [--scenario S] [--retention SPEC]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.store.migrate import compact_tree, migrate_tree, verify_run
+from repro.store.retention import parse_retention
+from repro.store.runstore import RunStore
+
+
+def _human_bytes(count) -> str:
+    count = float(count or 0)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.0f} {unit}" if unit == "B" else f"{count:.1f} {unit}"
+        count /= 1024
+    return f"{count:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def cmd_ls(root, scenario: Optional[str] = None, as_json: bool = False) -> int:
+    store = RunStore(root)
+    rows = []
+    scenarios = [scenario] if scenario else store.scenarios()
+    for name in scenarios:
+        for run_id in store.run_ids(name):
+            rows.append(store.describe(name, run_id))
+    if as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print(f"no runs under {root}")
+        return 0
+    width_s = max(len(str(r["scenario"])) for r in rows)
+    width_r = max(len(str(r["run_id"])) for r in rows)
+    print(f"{len(rows)} run(s) under {root}:")
+    for row in rows:
+        fmt = row["store_format"]
+        version = f"v{fmt}" if fmt else "empty"
+        latest = row["steps"][-1] if row["steps"] else "-"
+        frames = row["series_frames"]
+        frames_text = "-" if frames is None else str(frames)
+        print(f"  {row['scenario']:<{width_s}}  {row['run_id']:<{width_r}}  "
+              f"{version:<5} {row['snapshots']:>4} snapshots  "
+              f"latest step {latest!s:>8}  {frames_text:>6} frames  "
+              f"{_human_bytes(row['bytes']):>10}")
+    return 0
+
+
+def cmd_inspect(root, scenario: str, run_id: str) -> int:
+    store = RunStore(root)
+    summary = store.describe(scenario, run_id)
+    if summary["store_format"] is None:
+        print(f"error: no run {scenario!r}/{run_id!r} under {root}")
+        return 2
+    summary["verify"] = verify_run(store, scenario, run_id)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_migrate(root, scenario: Optional[str] = None,
+                keep_v1: bool = False) -> int:
+    store = RunStore(root)
+    reports = migrate_tree(store, scenario=scenario, remove_v1=not keep_v1)
+    migrated = sum(r["migrated"] for r in reports)
+    removed = sum(r["removed"] for r in reports)
+    for report in reports:
+        if report["migrated"]:
+            print(f"  migrated {report['scenario']}/{report['run_id']}: "
+                  f"{report['migrated']} snapshot(s)")
+    print(f"migrated {migrated} snapshot(s) across {len(reports)} run(s); "
+          f"removed {removed} v1 file(s)")
+    return 0
+
+
+def cmd_compact(root, scenario: Optional[str] = None,
+                retention: Optional[str] = None) -> int:
+    policy = parse_retention(retention)
+    store = RunStore(root)
+    reports = compact_tree(store, scenario=scenario, retention=policy)
+    removed = sum(r["removed_files"] for r in reports)
+    reclaimed = sum(r["reclaimed_bytes"] for r in reports)
+    pruned = sum(len(r.get("pruned_steps", [])) for r in reports)
+    print(f"compacted {len(reports)} run(s): removed {removed} file(s), "
+          f"pruned {pruned} snapshot(s), reclaimed {_human_bytes(reclaimed)}")
+    return 0

@@ -1,0 +1,170 @@
+"""The binary state-blob codec: JSON-able checkpoint state <-> npz files.
+
+A v2 snapshot stores the engine state as one ``state-<step>.npz`` file: a
+small JSON *skeleton* carrying the payload structure plus one binary array
+per numeric leaf.  The codec operates on the *plain* payloads that
+:meth:`repro.api.engine.EngineAdapter.checkpoint` emits (nested dicts/lists of
+Python scalars, with complex arrays already encoded as tagged
+``{"__complex__": ..., "real": ..., "imag": ...}`` dicts), and its decode side
+reconstructs exactly the structure a ``json.dumps``/``json.loads`` cycle of
+that payload would produce — the property the resume-bit-identical contract
+rides on.  Binary float64 round-trips are trivially bit-exact (including
+``-0.0``, ``NaN`` and ``±inf``), which is *stronger* than the shortest-
+round-trip JSON literals of the v1 format, not weaker.
+
+Extraction is deliberately conservative: only rectangular nests whose leaves
+are all genuine Python floats become binary arrays (so JSON ints — e.g. the
+128-bit PCG64 RNG state words, which fit neither float64 nor int64 — always
+stay in the skeleton verbatim), and tagged complex dicts become complex128
+arrays assembled component-wise so signed zeros survive.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.store.errors import CheckpointError
+from repro.store.util import atomic_write_bytes
+
+#: Tag of an encoded complex value (mirrors ``repro.api.result._COMPLEX_TAG``;
+#: duplicated here so the store never imports the API layer).
+_COMPLEX_TAG = "__complex__"
+
+#: Skeleton marker referencing one extracted array of the blob.
+_REF = "__blob_ref__"
+
+#: Skeleton marker escaping a genuine payload dict that contains ``_REF``.
+_ESCAPE = "__blob_escape__"
+
+#: Nests smaller than this many floats stay inline in the skeleton (a
+#: separate npz entry costs more in zip headers than it saves).
+_MIN_EXTRACT = 8
+
+#: Name of the skeleton entry inside the npz archive.
+_META_ENTRY = "__meta__"
+
+
+def _all_plain_floats(value: Any) -> bool:
+    """True when every leaf of a nested list is exactly a Python float.
+
+    ``bool``/``int`` leaves disqualify the nest: ``np.asarray`` would coerce
+    them to float64 and the decode side could no longer tell ``1`` from
+    ``1.0`` — the skeleton keeps such nests verbatim instead.
+    """
+    if type(value) is float:
+        return True
+    if type(value) is list:
+        return all(_all_plain_floats(item) for item in value)
+    return False
+
+
+def _as_float_array(value: Any):
+    """``value`` as a float64 ndarray when losslessly possible, else None."""
+    if not isinstance(value, list) or not _all_plain_floats(value):
+        return None
+    try:
+        array = np.asarray(value, dtype=np.float64)
+    except ValueError:  # ragged nest
+        return None
+    return array
+
+
+def encode_state(value: Any, arrays: List[np.ndarray]) -> Any:
+    """Extract numeric leaves of a plain payload into ``arrays``.
+
+    Returns the JSON-able skeleton; extracted leaves are replaced by
+    ``{"__blob_ref__": index, "kind": ...}`` markers.
+    """
+    if isinstance(value, dict):
+        if (
+            value.get(_COMPLEX_TAG) == "array"
+            and set(value) == {_COMPLEX_TAG, "real", "imag"}
+        ):
+            real = _as_float_array(value["real"])
+            imag = _as_float_array(value["imag"])
+            if real is not None and imag is not None \
+                    and real.shape == imag.shape:
+                # Component-wise assembly (not real + 1j*imag): the addition
+                # collapses signed zeros, which breaks bit-exact restore.
+                out = np.empty(real.shape, dtype=np.complex128)
+                out.real = real
+                out.imag = imag
+                arrays.append(out)
+                return {_REF: len(arrays) - 1, "kind": "complex"}
+        if _REF in value or _ESCAPE in value:
+            return {_ESCAPE: {k: encode_state(v, arrays)
+                              for k, v in value.items()}}
+        return {k: encode_state(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        array = _as_float_array(value)
+        if array is not None and array.size >= _MIN_EXTRACT:
+            arrays.append(array)
+            return {_REF: len(arrays) - 1, "kind": "float",
+                    "shape": list(array.shape)}
+        return [encode_state(item, arrays) for item in value]
+    return value
+
+
+def decode_state(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode_state`: rebuild the plain payload."""
+    if isinstance(value, dict):
+        if _REF in value:
+            array = arrays[f"a{int(value[_REF])}"]
+            if value.get("kind") == "complex":
+                return {
+                    _COMPLEX_TAG: "array",
+                    "real": array.real.tolist(),
+                    "imag": array.imag.tolist(),
+                }
+            return np.asarray(array, dtype=np.float64).reshape(
+                value.get("shape", array.shape)
+            ).tolist()
+        if _ESCAPE in value and set(value) == {_ESCAPE}:
+            return {k: decode_state(v, arrays)
+                    for k, v in value[_ESCAPE].items()}
+        return {k: decode_state(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_state(item, arrays) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Blob files
+# ----------------------------------------------------------------------
+def write_blob(path, meta: Dict[str, Any], arrays: List[np.ndarray]) -> Path:
+    """Atomically write one snapshot blob (meta skeleton + arrays) as npz."""
+    buffer = io.BytesIO()
+    entries = {f"a{i}": array for i, array in enumerate(arrays)}
+    entries[_META_ENTRY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buffer, **entries)
+    return atomic_write_bytes(path, buffer.getvalue(), suffix=".npz")
+
+
+def read_blob(path) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Read one snapshot blob; raises :class:`CheckpointError` on corruption."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _META_ENTRY not in archive:
+                raise CheckpointError(
+                    f"corrupt checkpoint blob {path}: no metadata entry"
+                )
+            meta = json.loads(archive[_META_ENTRY].tobytes().decode("utf-8"))
+            arrays = {
+                name: archive[name] for name in archive.files
+                if name != _META_ENTRY
+            }
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+            json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt checkpoint blob {path}: {exc}") from exc
+    return meta, arrays

@@ -1,0 +1,18 @@
+"""Exception types of the storage subsystem.
+
+:class:`CheckpointError` predates the ``repro.store`` package (it was born in
+``repro.api.engine``); it lives here so the storage layer can raise it without
+importing the API layer, and ``repro.api.engine`` re-exports it unchanged —
+every ``except CheckpointError`` in existing callers keeps working on the same
+class object.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(ValueError):
+    """A checkpoint payload is malformed or does not match the engine/spec."""
+
+
+class StoreFormatError(CheckpointError):
+    """An on-disk artefact was written by an unknown (newer) store format."""

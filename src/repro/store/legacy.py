@@ -1,0 +1,189 @@
+"""The v1 checkpoint layout: one self-contained JSON file per snapshot.
+
+This is the original ``repro.api.store.CheckpointStore`` implementation,
+preserved verbatim as the *legacy* engine behind the compatibility facade:
+
+* ``CheckpointStore(root, format=1)`` still writes it (the previous
+  release's code path — CI's migration job uses exactly this to generate
+  v1 trees);
+* the v2 :class:`repro.store.runstore.RunStore` falls back to reading it for
+  run directories that have no ``MANIFEST.json`` yet, so a daemon restarted
+  on a pre-migration state directory resumes transparently;
+* :mod:`repro.store.migrate` upgrades such trees in place.
+
+Layout: ``<root>/<scenario>/<run_id>/step-<step:08d>.json``, atomic writes,
+``latest()`` by directory scan.  Every snapshot embeds the complete session
+(spec + state + all recorded series so far), which is what makes the total
+serialization cost of a periodically-snapshotted run O(n^2) in its recorded
+length — the reason v2 exists.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.store.errors import CheckpointError
+from repro.store.util import atomic_write_json, validate_key
+
+# {8,}: step numbers >= 10^8 spill past the zero-padding; they must still be
+# visible to steps()/latest()/pruning.
+_STEP_FILE = re.compile(r"^step-(\d{8,})\.json$")
+
+#: How many full directory rescans ``latest()`` tolerates when concurrent
+#: pruning keeps deleting the snapshots it scanned before giving up.
+_LATEST_RESCAN_LIMIT = 8
+
+
+def step_filename(step: int) -> str:
+    return f"step-{int(step):08d}.json"
+
+
+def legacy_steps(directory: Path) -> List[int]:
+    """Step numbers with v1 snapshot files in ``directory``, ascending."""
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        match = _STEP_FILE.match(path.name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
+def legacy_load(directory: Path, step: int) -> Dict[str, Any]:
+    """Load one v1 snapshot file; raises :class:`CheckpointError`."""
+    path = directory / step_filename(step)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+
+
+class LegacyCheckpointStore:
+    """JSON checkpoint files keyed by ``(scenario, run_id)`` with atomic writes.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in; created lazily on first save.
+    keep:
+        When positive, prune each run's directory down to the newest ``keep``
+        snapshots after every save (older snapshots are no longer needed once
+        a later one exists — resume always starts from ``latest()``).  0 keeps
+        everything.
+    """
+
+    def __init__(self, root, keep: int = 0) -> None:
+        self.root = Path(root)
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    def run_dir(self, scenario: str, run_id: str = "default") -> Path:
+        return (self.root / validate_key(scenario, "scenario")
+                / validate_key(run_id, "run_id"))
+
+    def save(self, checkpoint: Dict[str, Any], run_id: str = "default") -> Path:
+        """Atomically persist one checkpoint payload; returns its path."""
+        if "scenario" not in checkpoint or "step" not in checkpoint:
+            raise CheckpointError(
+                "checkpoint payload is missing 'scenario' or 'step'"
+            )
+        step = int(checkpoint["step"])
+        if step < 0:
+            raise CheckpointError("checkpoint step must be >= 0")
+        directory = self.run_dir(str(checkpoint["scenario"]), run_id)
+        path = atomic_write_json(directory / step_filename(step), checkpoint)
+        if self.keep:
+            self._prune(directory)
+        return path
+
+    def _prune(self, directory: Path) -> None:
+        # Sort numerically: past 10^8 the zero-padding overflows and a
+        # lexicographic sort would rank the newest snapshot first.
+        files = sorted(
+            (p for p in directory.iterdir() if _STEP_FILE.match(p.name)),
+            key=lambda p: int(_STEP_FILE.match(p.name).group(1)),
+        )
+        for stale in files[: max(0, len(files) - self.keep)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # concurrent pruning by another worker is benign
+
+    # ------------------------------------------------------------------
+    def steps(self, scenario: str, run_id: str = "default") -> List[int]:
+        """Step numbers with stored snapshots, ascending."""
+        return legacy_steps(self.run_dir(scenario, run_id))
+
+    def load(self, scenario: str, run_id: str = "default",
+             step: Optional[int] = None) -> Dict[str, Any]:
+        """Load one snapshot (the latest when ``step`` is None)."""
+        if step is None:
+            available = self.steps(scenario, run_id)
+            if not available:
+                raise CheckpointError(
+                    f"no checkpoints stored for scenario {scenario!r} "
+                    f"run {run_id!r} under {self.root}"
+                )
+            step = available[-1]
+        return legacy_load(self.run_dir(scenario, run_id), step)
+
+    def latest(self, scenario: str, run_id: str = "default",
+               ) -> Optional[Dict[str, Any]]:
+        """The highest-step snapshot of a run, or ``None`` when there is none.
+
+        Safe against concurrent writers on the same run id: another process
+        saving with ``keep=N`` prunes old snapshots *between* this method's
+        directory scan and its read, so the file picked from the scan can be
+        gone by the time it is opened (saves are atomic renames, so files
+        vanish whole — they are never truncated).  A vanished snapshot only
+        ever means a newer one exists: fall back through the scanned steps in
+        descending order and rescan the directory when the whole scan went
+        stale, rather than surfacing a spurious ``CheckpointError``.  Only a
+        *missing* file is tolerated — a corrupt (unparsable) snapshot is a
+        real store fault and raises immediately.
+        """
+        directory = self.run_dir(scenario, run_id)
+        for _ in range(_LATEST_RESCAN_LIMIT):
+            available = self.steps(scenario, run_id)
+            if not available:
+                return None
+            for step in reversed(available):
+                path = directory / step_filename(step)
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        return json.load(handle)
+                except FileNotFoundError:
+                    continue  # pruned since the scan — try an older one
+                except json.JSONDecodeError as exc:
+                    raise CheckpointError(
+                        f"corrupt checkpoint {path}: {exc}"
+                    ) from exc
+        raise CheckpointError(
+            f"snapshots of scenario {scenario!r} run {run_id!r} under "
+            f"{self.root} kept vanishing across {_LATEST_RESCAN_LIMIT} "
+            "directory scans; the store is being pruned faster than it can "
+            "be read"
+        )
+
+    # ------------------------------------------------------------------
+    def scenarios(self) -> List[str]:
+        """Scenario names with at least one stored run directory."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def run_ids(self, scenario: str) -> List[str]:
+        """Run ids stored for one scenario."""
+        directory = self.root / validate_key(scenario, "scenario")
+        if not directory.is_dir():
+            return []
+        return sorted(p.name for p in directory.iterdir() if p.is_dir())

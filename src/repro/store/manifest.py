@@ -1,0 +1,97 @@
+"""The per-run ``MANIFEST.json`` index.
+
+One manifest per ``<root>/<scenario>/<run_id>/`` directory records every live
+snapshot blob (step, file, byte size, the series frame count it references)
+and the series log's segment accounting.  It is the run's single source of
+truth: ``latest()``, ``steps()`` and resume are manifest lookups instead of
+directory scans, and the atomic manifest rewrite is the commit point of every
+mutation (blob and segment writes happen first; a crash in between leaves an
+orphan file the next compaction sweeps, never a manifest naming missing data).
+
+``store_format`` gates compatibility: readers reject manifests written by a
+*newer* format instead of guessing, and the absence of a manifest is what
+marks a v1 (per-snapshot JSON) run directory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.store.errors import CheckpointError, StoreFormatError
+from repro.store.series import new_series_state
+from repro.store.util import atomic_write_json
+
+#: The on-disk store format this build reads and writes.
+STORE_FORMAT = 2
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def manifest_path(run_dir) -> Path:
+    return Path(run_dir) / MANIFEST_NAME
+
+
+def new_manifest(scenario: str, run_id: str) -> Dict[str, Any]:
+    return {
+        "store_format": STORE_FORMAT,
+        "scenario": str(scenario),
+        "run_id": str(run_id),
+        "engine": None,
+        "snapshots": [],
+        "series": new_series_state(),
+    }
+
+
+def read_manifest(run_dir) -> Optional[Dict[str, Any]]:
+    """The run's manifest dict, or None when the directory has none.
+
+    A manifest from a newer store format raises :class:`StoreFormatError`
+    (reading it as v2 would silently mangle the run); an unparsable manifest
+    raises :class:`CheckpointError` — atomic rewrites make torn manifests
+    impossible in normal operation, so that is a real store fault.
+    """
+    path = manifest_path(run_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt run manifest {path}: {exc}") from exc
+    fmt = manifest.get("store_format")
+    if fmt != STORE_FORMAT:
+        raise StoreFormatError(
+            f"run manifest {path} has store_format {fmt!r}; this build "
+            f"reads format {STORE_FORMAT} (upgrade repro, or migrate the tree)"
+        )
+    return manifest
+
+
+def write_manifest(run_dir, manifest: Dict[str, Any]) -> Path:
+    return atomic_write_json(manifest_path(run_dir), manifest)
+
+
+# ----------------------------------------------------------------------
+# Snapshot bookkeeping helpers
+# ----------------------------------------------------------------------
+def snapshot_steps(manifest: Dict[str, Any]) -> List[int]:
+    return sorted(int(entry["step"]) for entry in manifest["snapshots"])
+
+
+def find_snapshot(manifest: Dict[str, Any], step: int,
+                  ) -> Optional[Dict[str, Any]]:
+    for entry in manifest["snapshots"]:
+        if int(entry["step"]) == int(step):
+            return entry
+    return None
+
+
+def upsert_snapshot(manifest: Dict[str, Any], entry: Dict[str, Any]) -> None:
+    manifest["snapshots"] = [
+        existing for existing in manifest["snapshots"]
+        if int(existing["step"]) != int(entry["step"])
+    ]
+    manifest["snapshots"].append(entry)
+    manifest["snapshots"].sort(key=lambda e: int(e["step"]))

@@ -1,0 +1,102 @@
+"""In-place upgrade of v1 (per-snapshot JSON) checkpoint trees to v2.
+
+Migration replays each run's v1 snapshots *in step order* through the normal
+:meth:`repro.store.runstore.RunStore.save` path: because every v1 snapshot is
+a complete session, each replayed save appends exactly the series frames that
+snapshot added, so the resulting v2 run is byte-for-byte what a v2 store
+would have produced live.  The v1 files are removed only after the run's
+manifest is committed — a crash mid-migration leaves either a readable v1
+run (no manifest yet: the store's legacy fallback serves it) or a complete
+v2 run plus stale v1 files that ``repro store compact`` sweeps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.store.errors import CheckpointError
+from repro.store.legacy import legacy_load, legacy_steps, step_filename
+from repro.store.manifest import read_manifest
+from repro.store.runstore import RunStore
+
+
+def migrate_run(store: RunStore, scenario: str, run_id: str,
+                remove_v1: bool = True) -> Dict[str, Any]:
+    """Upgrade one run directory; returns a report dict.
+
+    Safe to re-run after an interruption: a run that already has a manifest
+    only replays the v1 snapshots *newer* than the manifest's latest step
+    (those are the ones a crashed earlier migration never committed; older
+    v1 files are already migrated — and replaying an old complete-session
+    payload into a v2 run that has since moved on would reset it backwards).
+    v1 files are removed only once every snapshot they hold is represented
+    in the manifest.
+    """
+    directory = store.run_dir(scenario, run_id)
+    steps = legacy_steps(directory)
+    report = {"scenario": scenario, "run_id": run_id,
+              "migrated": 0, "removed": 0, "skipped": False}
+    already_v2 = read_manifest(directory) is not None
+    if steps:
+        # With a manifest present, store.steps() lists the v2 snapshots.
+        latest_v2 = max(store.steps(scenario, run_id), default=-1) \
+            if already_v2 else -1
+        for step in steps:  # ascending: each save extends the series log
+            if step <= latest_v2:
+                continue
+            checkpoint = legacy_load(directory, step)
+            store.save(checkpoint, run_id=run_id)
+            report["migrated"] += 1
+    elif already_v2:
+        report["skipped"] = True
+    if remove_v1 and (report["migrated"] or already_v2):
+        for step in steps:
+            try:
+                (directory / step_filename(step)).unlink()
+                report["removed"] += 1
+            except OSError:
+                pass
+    return report
+
+
+def migrate_tree(store: RunStore, scenario: Optional[str] = None,
+                 remove_v1: bool = True) -> List[Dict[str, Any]]:
+    """Upgrade every run under the store root (or one scenario's runs)."""
+    reports = []
+    scenarios = [scenario] if scenario is not None else store.scenarios()
+    for name in scenarios:
+        for run_id in store.run_ids(name):
+            reports.append(migrate_run(store, name, run_id, remove_v1=remove_v1))
+    return reports
+
+
+def compact_tree(store: RunStore, scenario: Optional[str] = None,
+                 retention=None) -> List[Dict[str, Any]]:
+    """Compact (and optionally retention-prune) every run under the root."""
+    reports = []
+    scenarios = [scenario] if scenario is not None else store.scenarios()
+    for name in scenarios:
+        for run_id in store.run_ids(name):
+            report = store.compact(name, run_id)
+            if retention is not None:
+                report["pruned_steps"] = store.prune(
+                    name, run_id, retention=retention
+                )
+            reports.append(report)
+    return reports
+
+
+def verify_run(store: RunStore, scenario: str, run_id: str) -> Dict[str, Any]:
+    """Light integrity check: the latest snapshot must load completely."""
+    try:
+        payload = store.latest(scenario, run_id)
+    except CheckpointError as exc:
+        return {"scenario": scenario, "run_id": run_id,
+                "ok": False, "error": str(exc)}
+    if payload is None:
+        return {"scenario": scenario, "run_id": run_id,
+                "ok": False, "error": "no snapshots"}
+    return {"scenario": scenario, "run_id": run_id, "ok": True,
+            "latest_step": int(payload.get("step", -1)),
+            "records": len(payload.get("times", []))}

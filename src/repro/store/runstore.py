@@ -1,0 +1,491 @@
+"""The v2 run store: incremental binary checkpoints under one root.
+
+Layout (one directory per ``(scenario, run_id)``)::
+
+    <root>/<scenario>/<run_id>/
+        MANIFEST.json          the run index (commit point of every mutation)
+        state-00000040.npz     one binary blob per snapshot (engine state only)
+        series-000000.seg      append-only recorded-series segments
+
+A snapshot never re-embeds the observable history: the series log records
+every sample exactly once and the snapshot references it by frame count, so
+the write cost of snapshot N is O(state) + O(frames since snapshot N-1) —
+independent of how long the run has been recording — and ``latest()`` /
+``steps()`` are manifest lookups instead of directory scans.
+
+Consistency model: segment appends and blob writes happen first, the atomic
+``MANIFEST.json`` rewrite commits them.  A crash in between leaves only
+unaccounted bytes/files that the next append truncates or :meth:`compact`
+sweeps.  Because every incoming checkpoint payload is a *complete session*,
+the store can also self-heal from any divergence between the payload and the
+log (a run id restarted from scratch, a foreign writer): it resets the run
+and rebuilds it from the payload alone — exactly the self-containedness the
+v1 format bought with its O(n^2) serialization, kept here without paying it.
+
+Reading is v1-compatible: a run directory without a manifest is served from
+the legacy per-snapshot JSON files, so resuming on a pre-migration tree
+works before ``repro store migrate`` ever runs.
+
+Concurrency model: any number of readers against one writer **per run id**.
+Same-process writers are serialised by a per-run lock; readers tolerate
+concurrent pruning (manifest re-read fallback in :meth:`latest`).  Two
+*processes* writing the same run id concurrently are outside the contract —
+the layers above already prevent it (the executor enforces unique run ids
+per batch, the daemon keeps at most one attempt of a run in flight) and the
+manifest-commit discipline self-heals the directory on the next save; a
+cross-process manifest lock is the ROADMAP's next storage step.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.store.codec import decode_state, encode_state, read_blob, write_blob
+from repro.store.errors import CheckpointError
+from repro.store.legacy import LegacyCheckpointStore, legacy_steps
+from repro.store.manifest import (
+    MANIFEST_NAME, STORE_FORMAT, find_snapshot, new_manifest, read_manifest,
+    snapshot_steps, upsert_snapshot, write_manifest,
+)
+from repro.store.retention import (
+    RetentionLike, RetentionPolicy, StoredItem, parse_retention,
+)
+from repro.store.series import SEGMENT_BYTE_LIMIT, SeriesLog, new_series_state
+from repro.store.util import file_size, validate_key
+
+#: How many manifest re-reads ``latest()`` tolerates when concurrent pruning
+#: keeps deleting the blobs it found before giving up.
+_LATEST_RETRY_LIMIT = 8
+
+_BLOB_TEMPLATE = "state-{step:08d}.npz"
+
+
+def blob_filename(step: int) -> str:
+    return _BLOB_TEMPLATE.format(step=int(step))
+
+
+class RunStore:
+    """Incremental checkpoint storage rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in; created lazily on first save.
+    retention:
+        Snapshot retention policy (a :class:`RetentionPolicy`, a spec string
+        such as ``"keep=3,max-bytes=1G"``, or None to keep everything),
+        applied to each run after every save.  The newest snapshot is never
+        pruned; the series log is never pruned (resume needs the full
+        recorded history — that is the bit-identical contract).
+    """
+
+    def __init__(self, root, retention: RetentionLike = None,
+                 segment_limit: int = SEGMENT_BYTE_LIMIT) -> None:
+        self.root = Path(root)
+        self.retention = parse_retention(retention)
+        self.segment_limit = int(segment_limit)
+        self._legacy = LegacyCheckpointStore(root)
+        self._locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._master_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run_dir(self, scenario: str, run_id: str = "default") -> Path:
+        return (self.root / validate_key(scenario, "scenario")
+                / validate_key(run_id, "run_id"))
+
+    def _lock(self, scenario: str, run_id: str) -> threading.Lock:
+        key = (str(scenario), str(run_id))
+        with self._master_lock:
+            if key not in self._locks:
+                self._locks[key] = threading.Lock()
+            return self._locks[key]
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, checkpoint: Dict[str, Any], run_id: str = "default") -> Path:
+        """Persist one complete-session checkpoint payload; returns the blob path.
+
+        The scenario key and the step number are read from the payload
+        itself, so ``functools.partial(store.save, run_id=...)`` (or a
+        lambda) is directly usable as an ``on_checkpoint`` sink.
+        """
+        if "scenario" not in checkpoint or "step" not in checkpoint:
+            raise CheckpointError(
+                "checkpoint payload is missing 'scenario' or 'step'"
+            )
+        step = int(checkpoint["step"])
+        if step < 0:
+            raise CheckpointError("checkpoint step must be >= 0")
+        scenario = str(checkpoint["scenario"])
+        directory = self.run_dir(scenario, run_id)
+        with self._lock(scenario, run_id):
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest = read_manifest(directory)
+            if manifest is None:
+                manifest = new_manifest(scenario, run_id)
+            if checkpoint.get("engine") is not None:
+                manifest["engine"] = str(checkpoint["engine"])
+
+            times = checkpoint.get("times")
+            records = checkpoint.get("records") or {}
+            has_series = isinstance(times, list)
+            aligned = has_series and all(
+                len(series) == len(times) for series in records.values()
+            )
+            log = SeriesLog(directory, manifest["series"], self.segment_limit)
+            inline_series: Optional[Dict[str, Any]] = None
+            series_count: Optional[int] = None
+            if has_series and aligned:
+                series_count = len(times)
+                existing = log.frames
+                diverged = series_count < existing
+                if not diverged and existing > 0:
+                    # Content check at the overlap point: the time stamp is a
+                    # fast guard, the frame crc catches a run restarted with
+                    # the same time grid but different physics (same dt, new
+                    # seed/parameters) — frame encoding is deterministic, so
+                    # re-encoding the overlapping record reproduces the crc
+                    # stored at append time iff the values are identical.
+                    head = existing - 1
+                    diverged = float(times[head]) != log.last_time or (
+                        log.last_crc is not None
+                        and SeriesLog.frame_crc(
+                            times[head],
+                            {name: series[head]
+                             for name, series in records.items()},
+                        ) != log.last_crc
+                    )
+                if diverged:
+                    # The payload describes a different history than the log
+                    # (typically: the run id was restarted from scratch).
+                    # The payload is complete, so rebuild the run from it.
+                    self._reset_run(directory, manifest)
+                    existing = 0
+                try:
+                    log.append(times, records, start=existing)
+                except CheckpointError:
+                    # The log is damaged (a segment shorter than the
+                    # manifest accounts for, or missing outright).  Again:
+                    # the payload is complete — rebuild the run from it
+                    # instead of appending after garbage.
+                    self._reset_run(directory, manifest)
+                    log.append(times, records, start=0)
+            elif has_series:
+                # Ragged series (an observable that appeared mid-run) cannot
+                # be frame-aligned; store them verbatim inside the blob.
+                inline_series = {"times": times, "records": records}
+
+            arrays: List[Any] = []
+            # Only strip times/records when the series machinery re-persists
+            # them; a payload carrying records without a times list keeps
+            # them verbatim (the v1 store persisted such payloads as-is).
+            stripped = ("state", "times", "records") if has_series \
+                else ("state",)
+            meta: Dict[str, Any] = {
+                "blob_format": STORE_FORMAT,
+                "payload": {
+                    key: value for key, value in checkpoint.items()
+                    if key not in stripped
+                },
+                "has_state": "state" in checkpoint,
+                "state": (
+                    encode_state(checkpoint["state"], arrays)
+                    if "state" in checkpoint else None
+                ),
+                "has_series": has_series,
+                "series_count": series_count,
+                "inline_series": inline_series,
+            }
+            blob_name = blob_filename(step)
+            path = write_blob(directory / blob_name, meta, arrays)
+            upsert_snapshot(manifest, {
+                "step": step,
+                "file": blob_name,
+                "bytes": file_size(path),
+                "time": checkpoint.get("time"),
+                "series_count": series_count,
+                "saved_at": _time.time(),
+            })
+            doomed = self._select_prunable(manifest, self.retention)
+            self._remove_snapshot_entries(manifest, doomed)
+            write_manifest(directory, manifest)
+            self._unlink_blobs(directory, doomed)
+        return path
+
+    @staticmethod
+    def _reset_run(directory: Path, manifest: Dict[str, Any]) -> None:
+        """Empty a run: commit the reset manifest FIRST, then delete files.
+
+        The ordering is the store's one crash-consistency rule: a crash
+        mid-reset must leave either the old run intact (manifest untouched)
+        or a readable empty run — never a manifest naming deleted blobs or
+        segments.  ``manifest["series"]`` is cleared *in place* so a
+        :class:`SeriesLog` holding the same dict sees the reset too.
+        """
+        doomed = [directory / str(entry["file"])
+                  for entry in manifest["snapshots"]]
+        doomed += [directory / str(entry["file"])
+                   for entry in manifest["series"]["segments"]]
+        manifest["snapshots"] = []
+        manifest["series"].clear()
+        manifest["series"].update(new_series_state())
+        write_manifest(directory, manifest)
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _select_prunable(manifest: Dict[str, Any],
+                         policy: Optional[RetentionPolicy],
+                         ) -> List[Dict[str, Any]]:
+        if policy is None:
+            return []
+        now = _time.time()
+        items = [
+            StoredItem(
+                key=str(entry["step"]),
+                order=int(entry["step"]),
+                bytes=int(entry.get("bytes", 0)),
+                age_s=max(0.0, now - float(entry.get("saved_at", now))),
+            )
+            for entry in manifest["snapshots"]
+        ]
+        doomed_keys = policy.prunable(items)
+        return [entry for entry in manifest["snapshots"]
+                if str(entry["step"]) in doomed_keys]
+
+    @staticmethod
+    def _remove_snapshot_entries(manifest: Dict[str, Any],
+                                 doomed: List[Dict[str, Any]]) -> None:
+        gone = {int(entry["step"]) for entry in doomed}
+        manifest["snapshots"] = [
+            entry for entry in manifest["snapshots"]
+            if int(entry["step"]) not in gone
+        ]
+
+    @staticmethod
+    def _unlink_blobs(directory: Path, doomed: List[Dict[str, Any]]) -> None:
+        for entry in doomed:
+            try:
+                (directory / str(entry["file"])).unlink()
+            except OSError:
+                pass  # concurrent pruning by another worker is benign
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def steps(self, scenario: str, run_id: str = "default") -> List[int]:
+        """Step numbers with stored snapshots, ascending."""
+        directory = self.run_dir(scenario, run_id)
+        manifest = read_manifest(directory)
+        if manifest is None:
+            return legacy_steps(directory)
+        return snapshot_steps(manifest)
+
+    def load(self, scenario: str, run_id: str = "default",
+             step: Optional[int] = None) -> Dict[str, Any]:
+        """Load one snapshot (the latest when ``step`` is None)."""
+        directory = self.run_dir(scenario, run_id)
+        manifest = read_manifest(directory)
+        if manifest is None:
+            return self._legacy.load(scenario, run_id, step)
+        if step is None:
+            available = snapshot_steps(manifest)
+            if not available:
+                raise CheckpointError(
+                    f"no checkpoints stored for scenario {scenario!r} "
+                    f"run {run_id!r} under {self.root}"
+                )
+            step = available[-1]
+        entry = find_snapshot(manifest, step)
+        if entry is None:
+            raise CheckpointError(
+                f"no checkpoint at step {step} for scenario {scenario!r} "
+                f"run {run_id!r} under {self.root}"
+            )
+        try:
+            return self._load_entry(directory, manifest, entry)
+        except FileNotFoundError as exc:
+            # Name the file that is actually gone: the blob, or a series
+            # segment the snapshot references — misreporting a lost segment
+            # as a missing snapshot would send the operator to a blob that
+            # exists.
+            missing = exc.filename or str(directory / str(entry["file"]))
+            raise CheckpointError(
+                f"checkpoint at step {step} of scenario {scenario!r} run "
+                f"{run_id!r} is missing data on disk: {missing}"
+            ) from None
+
+    def _load_entry(self, directory: Path, manifest: Dict[str, Any],
+                    entry: Dict[str, Any]) -> Dict[str, Any]:
+        meta, arrays = read_blob(directory / str(entry["file"]))
+        payload = dict(meta["payload"])
+        if meta.get("has_state"):
+            payload["state"] = decode_state(meta["state"], arrays)
+        if meta.get("has_series"):
+            inline = meta.get("inline_series")
+            if inline is not None:
+                payload["times"] = inline["times"]
+                payload["records"] = inline["records"]
+            else:
+                log = SeriesLog(directory, manifest["series"],
+                                self.segment_limit)
+                times, records = log.read(int(meta["series_count"]))
+                payload["times"] = times
+                payload["records"] = records
+        return payload
+
+    def latest(self, scenario: str, run_id: str = "default",
+               ) -> Optional[Dict[str, Any]]:
+        """The highest-step snapshot of a run, or ``None`` when there is none.
+
+        Safe against concurrent writers on the same run id: a blob named by
+        the manifest can be pruned between the manifest read and the blob
+        open.  A vanished blob only ever means a newer manifest exists: fall
+        back through the listed steps in descending order and re-read the
+        manifest when the whole listing went stale.  Only a *missing* file is
+        tolerated — a corrupt blob or series segment is a real store fault
+        and raises immediately.
+        """
+        directory = self.run_dir(scenario, run_id)
+        for _ in range(_LATEST_RETRY_LIMIT):
+            manifest = read_manifest(directory)
+            if manifest is None:
+                return self._legacy.latest(scenario, run_id)
+            available = snapshot_steps(manifest)
+            if not available:
+                return None
+            for step in reversed(available):
+                entry = find_snapshot(manifest, step)
+                try:
+                    return self._load_entry(directory, manifest, entry)
+                except FileNotFoundError:
+                    continue  # pruned since the manifest read — try older
+        raise CheckpointError(
+            f"snapshots of scenario {scenario!r} run {run_id!r} under "
+            f"{self.root} kept vanishing across {_LATEST_RETRY_LIMIT} "
+            "manifest reads; the store is being pruned faster than it can "
+            "be read"
+        )
+
+    # ------------------------------------------------------------------
+    # Enumeration / maintenance
+    # ------------------------------------------------------------------
+    def scenarios(self) -> List[str]:
+        """Scenario names with at least one stored run directory."""
+        return self._legacy.scenarios()
+
+    def run_ids(self, scenario: str) -> List[str]:
+        """Run ids stored for one scenario."""
+        return self._legacy.run_ids(scenario)
+
+    def describe(self, scenario: str, run_id: str = "default",
+                 ) -> Dict[str, Any]:
+        """Inspection summary of one run (for ``repro store inspect``)."""
+        directory = self.run_dir(scenario, run_id)
+        manifest = read_manifest(directory)
+        if manifest is None:
+            steps = legacy_steps(directory)
+            return {
+                "scenario": scenario,
+                "run_id": run_id,
+                "store_format": 1 if steps else None,
+                "snapshots": len(steps),
+                "steps": steps,
+                "bytes": sum(
+                    file_size(path) for path in directory.glob("step-*.json")
+                ) if steps else 0,
+                "series_frames": None,
+                "segments": None,
+            }
+        return {
+            "scenario": scenario,
+            "run_id": run_id,
+            "store_format": STORE_FORMAT,
+            "engine": manifest.get("engine"),
+            "snapshots": len(manifest["snapshots"]),
+            "steps": snapshot_steps(manifest),
+            "bytes": sum(
+                int(entry.get("bytes", 0)) for entry in manifest["snapshots"]
+            ) + sum(
+                int(entry.get("bytes", 0))
+                for entry in manifest["series"]["segments"]
+            ),
+            "series_frames": int(manifest["series"]["frames"]),
+            "segments": len(manifest["series"]["segments"]),
+        }
+
+    def prune(self, scenario: str, run_id: str = "default",
+              retention: RetentionLike = None) -> List[int]:
+        """Apply a retention policy now; returns the pruned step numbers."""
+        policy = parse_retention(retention) if retention is not None \
+            else self.retention
+        if policy is None:
+            return []
+        directory = self.run_dir(scenario, run_id)
+        with self._lock(scenario, run_id):
+            manifest = read_manifest(directory)
+            if manifest is None:
+                return []
+            doomed = self._select_prunable(manifest, policy)
+            if not doomed:
+                return []
+            self._remove_snapshot_entries(manifest, doomed)
+            write_manifest(directory, manifest)
+            self._unlink_blobs(directory, doomed)
+        return sorted(int(entry["step"]) for entry in doomed)
+
+    def compact(self, scenario: str, run_id: str = "default") -> Dict[str, Any]:
+        """Merge series segments and sweep unreferenced files of one run.
+
+        Returns a small report (segments merged, orphans removed, bytes
+        reclaimed).  Legacy (v1) run directories are left untouched — use
+        :mod:`repro.store.migrate` to upgrade them first.
+        """
+        directory = self.run_dir(scenario, run_id)
+        report = {"scenario": scenario, "run_id": run_id,
+                  "merged_segments": 0, "removed_files": 0,
+                  "reclaimed_bytes": 0}
+        with self._lock(scenario, run_id):
+            manifest = read_manifest(directory)
+            if manifest is None:
+                return report
+            log = SeriesLog(directory, manifest["series"], self.segment_limit)
+            segments_before = len(manifest["series"]["segments"])
+            obsolete = log.compact()
+            referenced = {MANIFEST_NAME}
+            referenced |= {str(entry["file"]) for entry in manifest["snapshots"]}
+            referenced |= {
+                str(entry["file"]) for entry in manifest["series"]["segments"]
+            }
+            write_manifest(directory, manifest)
+            report["merged_segments"] = max(
+                0, segments_before - len(manifest["series"]["segments"])
+            )
+            for path in obsolete:
+                report["reclaimed_bytes"] += file_size(path)
+                report["removed_files"] += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            # Sweep orphans: stale v1 snapshots left behind by an in-place
+            # upgrade, blobs whose manifest commit never happened, tmp files.
+            for path in directory.iterdir():
+                if path.name in referenced or not path.is_file():
+                    continue
+                if (path.name.startswith(("state-", "series-", "step-", ".tmp-"))
+                        and path not in obsolete):
+                    report["reclaimed_bytes"] += file_size(path)
+                    report["removed_files"] += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return report

@@ -1,0 +1,74 @@
+"""Filesystem primitives shared by every store component.
+
+One atomic-write discipline for the whole state layer — checkpoint manifests
+and blobs, the daemon's submission journal and its persisted results all go
+through here: write to a dot-prefixed temp file in the destination directory,
+fsync, then ``os.replace``, so a process killed mid-write never leaves a
+truncated file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_BAD_KEY = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def validate_key(name: str, what: str = "key") -> str:
+    """Validate a scenario/run-id path component (no separators, non-empty).
+
+    Used for every client- or payload-supplied name before it becomes a file
+    or directory name, including by the serving daemon for client-supplied
+    run ids.
+    """
+    name = str(name)
+    if not name:
+        raise ValueError(f"{what} must be non-empty")
+    if _BAD_KEY.search(name) or name.startswith("."):
+        raise ValueError(
+            f"{what} {name!r} may only contain letters, digits, '.', '_' "
+            "and '-' (and must not start with '.')"
+        )
+    return name
+
+
+def atomic_write_bytes(path, data: bytes, suffix: str = ".bin") -> Path:
+    """Atomically persist ``data`` at ``path`` (temp file + fsync + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".tmp-{path.stem}-", suffix=suffix, dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path, payload: Any) -> Path:
+    """Atomically persist ``payload`` as JSON at ``path`` (temp + rename)."""
+    return atomic_write_bytes(
+        path, json.dumps(payload).encode("utf-8"), suffix=".json"
+    )
+
+
+def file_size(path) -> int:
+    """Size of a file in bytes, 0 when it does not exist."""
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return 0

@@ -240,8 +240,18 @@ class TestCheckpointStore:
     def test_atomic_write_leaves_no_temp_files(self, tmp_path):
         store = CheckpointStore(tmp_path)
         store.save(self.make_checkpoint(1))
+        names = sorted(os.listdir(store.run_dir("md-nve")))
+        assert names == ["MANIFEST.json", "state-00000001.npz"]
+
+    def test_legacy_format_writes_v1_files(self, tmp_path):
+        # format=1 is the previous release's code path, kept for generating
+        # genuine v1 trees (CI's migration job relies on it).
+        store = CheckpointStore(tmp_path, format=1)
+        store.save(self.make_checkpoint(1))
         names = os.listdir(store.run_dir("md-nve"))
         assert names == ["step-00000001.json"]
+        # ... which the default (v2) store reads transparently.
+        assert CheckpointStore(tmp_path).latest("md-nve")["step"] == 1
 
     def test_steps_past_the_zero_padding_stay_visible(self, tmp_path):
         # step >= 10^8 spills past the 8-digit padding; the listing regex
@@ -302,70 +312,83 @@ class TestCheckpointStore:
 
 
 class TestConcurrentWriters:
-    """latest() vs. concurrent save(keep=N) on the same run id.
+    """latest() vs. concurrent save + retention pruning on the same run id.
 
     Once the serving daemon shares one store across worker processes, two
     writers can snapshot the same run id concurrently (e.g. a stale worker's
-    last save racing the resumed attempt).  Saves are atomic renames, but a
-    ``keep=N`` writer *prunes* between another reader's directory scan and
-    its file read — ``latest()`` must fall back to the surviving snapshots
-    instead of surfacing a spurious ``CheckpointError``.
+    last save racing the resumed attempt).  Manifest rewrites are atomic,
+    but a blob the manifest names can be pruned between the reader's
+    manifest read and its blob open — ``latest()`` must fall back to the
+    surviving snapshots (re-reading the manifest when the whole listing
+    went stale) instead of surfacing a spurious ``CheckpointError``.
     """
 
     def make_checkpoint(self, step: int) -> dict:
         return {"format": 1, "scenario": "md-nve", "engine": "md",
                 "time": float(step), "step": step, "state": {"x": [1.0]}}
 
-    def test_latest_survives_files_pruned_after_the_scan(self, tmp_path,
-                                                         monkeypatch):
-        # Deterministic interleaving: the directory scan claims steps 2 and 4
-        # exist, but step 4's file is pruned before latest() can open it.
+    def test_latest_survives_blobs_pruned_after_the_manifest_read(
+            self, tmp_path, monkeypatch):
+        # Deterministic interleaving: the manifest read claims steps 2 and 4
+        # exist, but step 4's blob is pruned before latest() can open it.
+        from repro.store import runstore as runstore_module
+
         store = CheckpointStore(tmp_path)
         store.save(self.make_checkpoint(2))
         path_4 = store.save(self.make_checkpoint(4))
-        real_steps = CheckpointStore.steps
+        real_read = runstore_module.read_manifest
 
-        def steps_then_prune(self_store, scenario, run_id="default"):
-            found = real_steps(self_store, scenario, run_id)
+        def read_then_prune(directory):
+            manifest = real_read(directory)
             if path_4.exists():
                 path_4.unlink()  # the concurrent writer's prune lands here
-            return found
+            return manifest
 
-        monkeypatch.setattr(CheckpointStore, "steps", steps_then_prune)
+        monkeypatch.setattr(runstore_module, "read_manifest", read_then_prune)
         snapshot = store.latest("md-nve")
         assert snapshot is not None and snapshot["step"] == 2
 
-    def test_latest_rescans_when_every_scanned_file_vanished(self, tmp_path,
-                                                             monkeypatch):
-        # Worst case: everything the first scan saw is pruned; a newer
-        # snapshot (the one the pruning writer just saved) replaces it.
+    def test_latest_rereads_manifest_when_every_listed_blob_vanished(
+            self, tmp_path, monkeypatch):
+        # Worst case: everything the first manifest read listed is pruned; a
+        # newer snapshot (the one the pruning writer just saved) replaces it.
+        from repro.store import runstore as runstore_module
+
         store = CheckpointStore(tmp_path)
         stale = store.save(self.make_checkpoint(2))
-        real_steps = CheckpointStore.steps
+        real_read = runstore_module.read_manifest
         state = {"first": True}
 
-        def racing_steps(self_store, scenario, run_id="default"):
-            found = real_steps(self_store, scenario, run_id)
+        def racing_read(directory):
+            manifest = real_read(directory)
             if state.pop("first", False):
                 stale.unlink()
                 store.save(self.make_checkpoint(6))
-            return found
+            return manifest
 
-        monkeypatch.setattr(CheckpointStore, "steps", racing_steps)
+        monkeypatch.setattr(runstore_module, "read_manifest", racing_read)
         snapshot = store.latest("md-nve")
         assert snapshot is not None and snapshot["step"] == 6
 
-    def test_latest_gives_up_after_bounded_rescans(self, tmp_path, monkeypatch):
+    def test_latest_gives_up_after_bounded_retries(self, tmp_path, monkeypatch):
         # If the store is (pathologically) pruned faster than it can be read,
         # latest() must terminate with a diagnostic, not loop forever.  Every
-        # scan claims step 2 exists but the file is never on disk.
+        # manifest read names a step-2 blob that is never on disk.
+        from repro.store import runstore as runstore_module
+        from repro.store.manifest import new_manifest, upsert_snapshot
+
         store = CheckpointStore(tmp_path)
-        monkeypatch.setattr(CheckpointStore, "steps", lambda *a, **k: [2])
+        phantom = new_manifest("md-nve", "default")
+        upsert_snapshot(phantom, {"step": 2, "file": "state-00000002.npz",
+                                  "bytes": 0, "time": 2.0,
+                                  "series_count": None, "saved_at": 0.0})
+        monkeypatch.setattr(runstore_module, "read_manifest",
+                            lambda directory: phantom)
         with pytest.raises(CheckpointError, match="vanishing"):
             store.latest("md-nve")
 
     def test_latest_does_not_mask_corruption_as_pruning(self, tmp_path):
-        # A truncated snapshot is a real store fault (atomic writes make it
+        # A truncated blob is a real store fault (atomic writes make it
         # impossible in normal operation): latest() must raise the corruption
         # diagnostic, not skip to an older snapshot or claim pruning races.
         store = CheckpointStore(tmp_path)

@@ -93,6 +93,23 @@ class TestExecutionServiceParity:
         assert outcome.metadata["executor"]["resumed_from_step"] is None
         assert "workspace_stats" in outcome.metadata
 
+    def test_retention_rides_the_payload_into_worker_stores(self, tmp_path):
+        from repro.api import CheckpointStore
+
+        spec = smoke_spec("maxwell-vacuum", num_steps=4)
+        service = ExecutionService(
+            workers=0, checkpoint_dir=tmp_path, checkpoint_every=1,
+            retention="keep=1",
+        )
+        outcome = service.run([spec], run_ids=["r"])[0]
+        assert outcome.ok
+        assert CheckpointStore(tmp_path).steps(spec.name, "r") == [4]
+
+    def test_invalid_retention_spec_fails_fast(self, tmp_path):
+        with pytest.raises(ValueError, match="retention"):
+            ExecutionService(workers=0, checkpoint_dir=tmp_path,
+                             retention="bogus=1")
+
 
 # ----------------------------------------------------------------------
 # Failure handling and retries

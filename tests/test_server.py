@@ -171,10 +171,12 @@ class TestDaemonEndToEnd:
             port = _await_port(proc)
             client = ServeClient(port=port, timeout=60.0)
             client.submit(spec, run_id="victim", checkpoint_every=20)
-            # Wait for the first on-disk snapshot, then SIGKILL the whole
-            # process group (daemon + pool workers): no drain, no atexit.
+            # Wait for the first committed snapshot (the manifest write is
+            # the v2 store's commit point, so its existence means a complete
+            # resumable snapshot is on disk), then SIGKILL the whole process
+            # group (daemon + pool workers): no drain, no atexit.
             deadline = time.monotonic() + 120
-            while not list(snapshot_dir.glob("step-*.json")):
+            while not (snapshot_dir / "MANIFEST.json").exists():
                 assert time.monotonic() < deadline, "no snapshot before timeout"
                 time.sleep(0.02)
         finally:
@@ -449,3 +451,95 @@ class TestServerValidation:
         assert excinfo.value.status == 400
         queue_dir = tmp_path / "s7" / "queue"
         assert not (queue_dir.is_dir() and list(queue_dir.glob("*.json")))
+
+
+class TestHousekeeping:
+    """Startup-replay housekeeping: the state directory stays bounded."""
+
+    def _result_payload(self, run_id: str, scenario: str = "maxwell-vacuum"):
+        return {"run_id": run_id, "finished_at": 0.0,
+                "ok": {"scenario": scenario, "engine": "maxwell",
+                       "times": [0.0], "observables": {}}}
+
+    def test_dead_journal_entry_is_dropped_not_rerun(self, tmp_path):
+        # A daemon that crashed between persisting a result and unlinking the
+        # journal leaves both files; replaying the journal would execute the
+        # finished run a second time.
+        from repro.api.store import atomic_write_json
+
+        root = tmp_path / "state"
+        spec = smoke_spec("maxwell-vacuum", num_steps=2).to_dict()
+        atomic_write_json(root / "queue" / "dead.json",
+                          {"run_id": "dead", "seq": 0, "spec": spec,
+                           "submitted_at": 0.0})
+        atomic_write_json(root / "results" / "dead.json",
+                          self._result_payload("dead"))
+        with ScenarioServer(root, port=0, workers=0) as daemon:
+            assert daemon.list_runs() == []  # nothing was re-enqueued
+            assert not (root / "queue" / "dead.json").exists()
+            # ... but the finished result is still served from disk.
+            assert daemon.record_dict("dead")["status"] == "done"
+
+    def test_results_retention_prunes_old_results_and_their_checkpoints(
+            self, tmp_path):
+        import os as _os
+
+        from repro.api.store import CheckpointStore, atomic_write_json
+
+        root = tmp_path / "state"
+        store = CheckpointStore(root / "checkpoints")
+        for index, run_id in enumerate(["r0", "r1", "r2", "r3"]):
+            atomic_write_json(root / "results" / f"{run_id}.json",
+                              self._result_payload(run_id))
+            _os.utime(root / "results" / f"{run_id}.json",
+                      (1000.0 + index, 1000.0 + index))
+            store.save({"format": 1, "scenario": "maxwell-vacuum",
+                        "engine": "maxwell", "time": 1.0, "step": 1,
+                        "state": {"x": [1.0]}}, run_id=run_id)
+        with ScenarioServer(root, port=0, workers=0,
+                            retention="keep=2") as daemon:
+            results = sorted(p.stem for p in (root / "results").glob("*.json"))
+            assert results == ["r2", "r3"]
+            # pruned results lose their checkpoint runs too
+            assert daemon.store.run_ids("maxwell-vacuum") == ["r2", "r3"]
+
+    def test_keep_every_terms_do_not_apply_to_results(self, tmp_path):
+        # every=K is a snapshot-step rule; against result mtimes it would
+        # delete ~everything whose mtime isn't divisible by K.
+        from repro.api.store import atomic_write_json
+
+        root = tmp_path / "state"
+        for index, run_id in enumerate(["r0", "r1", "r2"]):
+            atomic_write_json(root / "results" / f"{run_id}.json",
+                              self._result_payload(run_id))
+            os.utime(root / "results" / f"{run_id}.json",
+                     (1001.0 + index, 1001.0 + index))
+        with ScenarioServer(root, port=0, workers=0, retention="every=3"):
+            pass
+        assert sorted(p.stem for p in (root / "results").glob("*.json")) \
+            == ["r0", "r1", "r2"]
+
+    def test_no_retention_means_no_pruning(self, tmp_path):
+        from repro.api.store import atomic_write_json
+
+        root = tmp_path / "state"
+        for run_id in ("a", "b"):
+            atomic_write_json(root / "results" / f"{run_id}.json",
+                              self._result_payload(run_id))
+        with ScenarioServer(root, port=0, workers=0):
+            pass
+        assert sorted(p.stem for p in (root / "results").glob("*.json")) \
+            == ["a", "b"]
+
+    def test_retention_reaches_worker_checkpoint_stores(self, tmp_path):
+        # retention="keep=1" must ride the payload into the worker's store:
+        # after a run with per-step snapshots only the final one survives.
+        root = tmp_path / "state"
+        spec = smoke_spec("maxwell-vacuum", num_steps=4)
+        with ScenarioServer(root, port=0, workers=0,
+                            retention="keep=1") as daemon:
+            client = ServeClient(port=daemon.port, timeout=30.0)
+            ack = client.submit(spec, run_id="pruned", checkpoint_every=1)
+            outcome = client.wait(ack["run_id"], timeout=60)
+            assert outcome.ok
+            assert daemon.store.steps(spec.name, "pruned") == [4]
