@@ -16,17 +16,26 @@ Two workloads: ``maxwell-vacuum`` (trivial physics — the measurement is pure
 serving overhead) and a shrunk ``quickstart-tddft`` (the kinetic-phase cache
 also carries across submissions).  Writes
 ``results/BENCH_serve_throughput.json``.
+
+``--faults`` runs the crash-safety cost benchmark instead: the same
+uncontended :class:`~repro.store.runstore.RunStore` save loop with the
+cross-process file lock off, on, and on-with-a-fault-plan-armed, proving
+the lock (and the fault-point instrumentation riding the same hot path)
+costs under 5% per save.  Writes ``results/BENCH_serve_faults.json``.
 """
 
 from __future__ import annotations
 
+import sys
 import tempfile
 import time
 
 from common import finish, print_table
 
+from repro import faults
 from repro.api import ScenarioServer, ServeClient, WorkerPool, default_registry
 from repro.api.executor import execute_payload
+from repro.store.runstore import RunStore
 
 WORKLOADS = {
     "maxwell-vacuum": {"runtime.num_steps": 5},
@@ -111,6 +120,104 @@ def bench_inline(name: str, submissions: int) -> dict:
     }
 
 
+def _lock_checkpoint(step: int) -> dict:
+    return {"format": 2, "scenario": "bench-lock", "engine": "md",
+            "time": float(step), "step": int(step),
+            "state": {"x": [1.0] * 64},
+            "times": [float(s) for s in range(step + 1)],
+            "records": {"energy": [0.5] * (step + 1)}}
+
+
+def bench_faults(saves: int = 300, batch: int = 10) -> None:
+    """Crash-safety cost: per-save overhead of the lock + fault points.
+
+    All three loops are single-writer (the common case the <5% budget is
+    about) — the lock is always acquired immediately.  The armed fault
+    plan names a real hot-path point with a trigger count that is never
+    reached, so the matching machinery runs on every save but no fault
+    fires.
+
+    Each save is fsync-dominated (milliseconds) while the lock itself is
+    tens of microseconds, so the comparison interleaves small batches of
+    the three modes round-robin and scores each mode by the **median of
+    its per-round paired deltas** against the baseline batch of the same
+    round.  Pairing cancels the slow disk drift (adjacent batches see the
+    same filesystem weather) and the median kills journal-flush spikes —
+    either alone leaves the measurement an order of magnitude noisier
+    than the ~1% effect being bounded.
+    """
+    # One far-future one-shot on the hottest point: every save walks the
+    # plan, none ever trips.
+    armed_plan = "manifest.commit.pre_write=raise@1000000000"
+    modes = [
+        ("locking off", dict(locking=False)),
+        ("locking on", dict(locking=True)),
+        ("locking on + plan armed", dict(locking=True,
+                                         fault_plan=armed_plan)),
+    ]
+    rounds = max(1, saves // batch)
+    samples = {label: [] for label, _ in modes}
+    with tempfile.TemporaryDirectory() as root:
+        stores, steps = {}, {}
+        for label, kwargs in modes:
+            stores[label] = RunStore(
+                f"{root}/{len(stores)}", owner="bench",
+                locking=kwargs["locking"])
+            stores[label].save(_lock_checkpoint(0), run_id="bench")
+            steps[label] = 1
+        for _ in range(rounds):
+            for label, kwargs in modes:
+                faults.configure(kwargs.get("fault_plan") or None)
+                try:
+                    store, step = stores[label], steps[label]
+                    start = time.perf_counter()
+                    for offset in range(batch):
+                        store.save(_lock_checkpoint(step + offset),
+                                   run_id="bench")
+                    samples[label].append(time.perf_counter() - start)
+                    steps[label] = step + batch
+                finally:
+                    faults.reset()
+    def _median(values):
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    base_label = modes[0][0]
+    base_times = samples[base_label]
+    base_per_save = 1e6 * _median(base_times) / batch
+    rows = []
+    for label, _ in modes:
+        timed = samples[label]
+        row = {"mode": label, "saves": rounds * batch,
+               "total_s": sum(timed),
+               "per_save_us": 1e6 * _median(timed) / batch}
+        if label != base_label:
+            delta = _median([t - b for t, b in zip(timed, base_times)])
+            row["overhead_pct"] = (100.0 * (1e6 * delta / batch)
+                                   / base_per_save)
+        rows.append(row)
+    print_table(
+        "uncontended save cost: file lock + fault-point instrumentation",
+        ["mode", "saves", "per_save_us", "overhead_pct"],
+        rows,
+    )
+    lock_overhead = rows[1]["overhead_pct"]
+    ok = lock_overhead < 5.0
+    finish("BENCH_serve_faults", {
+        "rows": rows,
+        "lock_overhead_pct": lock_overhead,
+        "threshold_pct": 5.0,
+        "ok": ok,
+    })
+    if not ok:
+        raise SystemExit(
+            f"lock overhead {lock_overhead:.2f}% exceeds the 5% budget")
+    print(f"\nlock overhead {lock_overhead:.2f}% < 5% budget: ok")
+
+
 def main(submissions: int = 20) -> None:
     rows = []
     for name in WORKLOADS:
@@ -128,4 +235,7 @@ def main(submissions: int = 20) -> None:
 
 
 if __name__ == "__main__":
-    main()
+    if "--faults" in sys.argv:
+        bench_faults()
+    else:
+        main()

@@ -182,6 +182,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "results (pruned on startup replay), e.g. "
                             "'keep=50,max-age=7d,max-bytes=1G'; every=K "
                             "terms apply to snapshot steps only")
+    serve.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                       help="seconds a run's ownership lease outlives its "
+                            "last checkpoint; governs how quickly another "
+                            "daemon sharing the state root may take over a "
+                            "crashed daemon's runs (default 60)")
 
     store = sub.add_parser(
         "store",
@@ -411,6 +416,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         keep=args.keep,
         retention=args.retention,
+        **({"lease_ttl": args.lease_ttl} if args.lease_ttl is not None else {}),
     )
     server.start()
     # The flush matters: supervisors (and the test harness) parse this line

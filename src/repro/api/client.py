@@ -18,13 +18,21 @@ protocol (see :mod:`repro.api.server`) with nothing but the stdlib
 
 Errors the daemon refuses (bad spec, unknown run id, full queue) surface as
 :class:`ServeError` with the HTTP status attached; a daemon that cannot be
-reached at all raises :class:`ServeUnavailable`.
+reached at all raises :class:`ServeUnavailable`; a :meth:`wait` deadline
+expiring raises :class:`ServeTimeout` — three distinct types, so callers can
+tell "the daemon said no", "the daemon is dead" and "the run is slow" apart.
+
+Transient refusals degrade instead of failing: 429 (queue full) and 503
+(draining) are retried with capped exponential backoff plus jitter, honoring
+the daemon's ``Retry-After`` hint when it sends one, so a burst of clients
+against a saturated daemon spreads out instead of spinning in lockstep.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -36,27 +44,74 @@ from repro.api.spec import ScenarioSpec
 #: One finished run, as returned by :meth:`ServeClient.result`.
 ServeOutcome = Union[RunResult, RunFailure]
 
+#: HTTP statuses that mean "try again later", not "this request is wrong".
+_TRANSIENT_STATUSES = (429, 503)
+
 
 class ServeError(RuntimeError):
     """The daemon answered with an error status."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = int(status)
+        #: The daemon's Retry-After hint in seconds, when it sent one.
+        self.retry_after = retry_after
 
 
 class ServeUnavailable(ConnectionError):
     """No daemon is reachable at the configured address."""
 
 
+class ServeTimeout(TimeoutError):
+    """A :meth:`ServeClient.wait` deadline expired while the run was alive.
+
+    Subclasses :class:`TimeoutError` so existing ``except TimeoutError``
+    callers (the CLI's exit-3 path) keep working; distinct from
+    :class:`ServeUnavailable` — the daemon is up and answering, the run is
+    just not done yet.
+    """
+
+    def __init__(self, run_id: str, status: str, timeout: float) -> None:
+        super().__init__(
+            f"run {run_id!r} still {status} after {timeout} s"
+        )
+        self.run_id = run_id
+        self.run_status = status
+        self.timeout = timeout
+
+
 class ServeClient:
-    """Talk to one :class:`~repro.api.server.ScenarioServer` daemon."""
+    """Talk to one :class:`~repro.api.server.ScenarioServer` daemon.
+
+    Parameters
+    ----------
+    host / port:
+        The daemon's address.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        How many times a request is retried after a transient refusal
+        (429/503) before the :class:`ServeError` propagates.  Connection
+        failures are only retried for GETs — a POST that died mid-flight may
+        already have been processed, and resubmitting a run is not
+        idempotent from the caller's point of view.  0 disables retries.
+    backoff / backoff_cap:
+        First retry delay and the cap of the exponential schedule, seconds.
+        Each delay gets full jitter (uniform over [delay/2, delay]); a
+        ``Retry-After`` hint from the daemon replaces the computed delay
+        (still capped).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 3,
+                 backoff: float = 0.25, backoff_cap: float = 8.0) -> None:
         self.host = str(host)
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
 
     # ------------------------------------------------------------------
     # Transport
@@ -67,8 +122,8 @@ class ServeClient:
             timeout=self.timeout if timeout is None else timeout,
         )
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         payload = None
         headers = {}
         if body is not None:
@@ -93,11 +148,43 @@ class ServeClient:
                 response.status, f"daemon sent unparsable JSON: {exc}"
             ) from exc
         if response.status >= 400:
+            retry_after = None
+            hint = response.getheader("Retry-After")
+            if hint is not None:
+                try:
+                    retry_after = max(0.0, float(hint))
+                except ValueError:
+                    pass
             raise ServeError(
                 response.status,
                 str(decoded.get("error", f"HTTP {response.status}")),
+                retry_after=retry_after,
             )
         return decoded
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """The pre-retry sleep: daemon hint if given, else jittered backoff."""
+        if retry_after is not None:
+            return min(retry_after, self.backoff_cap)
+        delay = min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+        return random.uniform(delay / 2.0, delay)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body=body)
+            except ServeError as exc:
+                if (exc.status not in _TRANSIENT_STATUSES
+                        or attempt >= self.retries):
+                    raise
+                time.sleep(self._delay(attempt, exc.retry_after))
+            except ServeUnavailable:
+                if method != "GET" or attempt >= self.retries:
+                    raise
+                time.sleep(self._delay(attempt, None))
+            attempt += 1
 
     # ------------------------------------------------------------------
     # Protocol surface
@@ -111,12 +198,16 @@ class ServeClient:
     def submit(self, spec: Union[ScenarioSpec, Dict[str, Any], str],
                overrides: Optional[Dict[str, Any]] = None,
                run_id: Optional[str] = None,
-               checkpoint_every: Optional[int] = None) -> Dict[str, Any]:
+               checkpoint_every: Optional[int] = None,
+               faults: Optional[Union[str, Dict[str, str]]] = None,
+               ) -> Dict[str, Any]:
         """Queue one run; returns the daemon's ack (run_id, position, ...).
 
         ``spec`` may be a full :class:`ScenarioSpec` (or its dict form) or a
         registered scenario *name*, optionally with dotted-path ``overrides``
-        that the daemon applies server-side.
+        that the daemon applies server-side.  ``faults`` is an optional fault
+        plan (``"point=action@N,..."`` — see :mod:`repro.faults`) armed in the
+        worker for this one run; chaos testing only.
         """
         body: Dict[str, Any] = {}
         if isinstance(spec, ScenarioSpec):
@@ -136,6 +227,8 @@ class ServeClient:
             body["run_id"] = str(run_id)
         if checkpoint_every is not None:
             body["checkpoint_every"] = int(checkpoint_every)
+        if faults:
+            body["faults"] = faults
         return self._request("POST", "/runs", body=body)
 
     def runs(self) -> List[Dict[str, Any]]:
@@ -160,16 +253,20 @@ class ServeClient:
 
     def wait(self, run_id: str, timeout: Optional[float] = None,
              poll: float = 0.1) -> ServeOutcome:
-        """Poll until the run finishes; returns the decoded outcome."""
+        """Poll until the run finishes; returns the decoded outcome.
+
+        ``timeout`` bounds the whole wait: when it expires while the run is
+        still queued/running, a :class:`ServeTimeout` is raised carrying the
+        run's last observed status — distinct from :class:`ServeUnavailable`
+        (a dead daemon), so callers can tell "slow run" from "lost daemon".
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             record = self.status(run_id)
             if record["status"] in ("done", "failed"):
                 return self.result(run_id)
             if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"run {run_id!r} still {record['status']} after {timeout} s"
-                )
+                raise ServeTimeout(run_id, str(record["status"]), timeout)
             time.sleep(poll)
 
     def events(self, run_id: str, from_step: int = 0,

@@ -46,12 +46,30 @@ import threading
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import faults
 from repro.api.adapters import build_engine
 from repro.api.result import RunFailure, RunResult
 from repro.api.spec import ScenarioSpec
 from repro.api.store import CheckpointStore
 from repro.perf.workspace import KernelWorkspace
+from repro.store import DEFAULT_LEASE_TTL_S
 from repro.store.retention import describe_retention, parse_retention
+
+FAULT_WORKER_PRE_RUN = faults.register(
+    "executor.worker.pre_run",
+    "in the worker, after the store/engine are built, before the first "
+    "step executes (a crash here must not mark the run failed twice)",
+)
+FAULT_RETRY_PRE_REQUEUE = faults.register(
+    "executor.retry.pre_requeue",
+    "in the parent, before a failed run's retry payload is requeued "
+    "(retry accounting must not double-charge)",
+)
+FAULT_SPAWN_PRE_SUBMIT = faults.register(
+    "executor.spawn.pre_submit",
+    "in the parent, before a payload is submitted to the worker pool "
+    "(a raising submit must become a failed slot, not escape run())",
+)
 
 #: Per-process workspace, created once per worker by :func:`_worker_init` so
 #: every run a worker executes shares the same kernel caches.
@@ -75,12 +93,22 @@ def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
     store = None
     on_checkpoint = None
     if payload.get("checkpoint_dir"):
+        # The lease identity is the *service/daemon* that owns the batch,
+        # not this worker: every worker of one daemon shares it, so a retry
+        # landing on a different worker renews the same lease instead of
+        # colliding with it.  owner_pid is the daemon's pid — that is the
+        # process whose death should make the lease breakable.
         store = CheckpointStore(
             payload["checkpoint_dir"],
             keep=int(payload.get("keep", 0)),
             retention=payload.get("retention") or None,
+            owner=payload.get("owner"),
+            owner_pid=payload.get("owner_pid"),
+            owner_host=payload.get("owner_host"),
+            lease_ttl=float(payload.get("lease_ttl") or DEFAULT_LEASE_TTL_S),
         )
         on_checkpoint = lambda ckpt: store.save(ckpt, run_id=run_id)  # noqa: E731
+    faults.point(FAULT_WORKER_PRE_RUN)
 
     resumed_from = None
     if payload.get("resume") and store is not None:
@@ -107,6 +135,14 @@ def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
         "resumed_from_step": resumed_from,
     }
     result.metadata["workspace_stats"] = dict(workspace.stats)
+    if store is not None:
+        # The run is complete: drop the ownership lease so the run id is
+        # immediately claimable (best-effort — an unreleased lease merely
+        # ages out via TTL).
+        try:
+            store.release(spec.name, run_id)
+        except Exception:  # noqa: BLE001 - the result already exists
+            pass
     return result
 
 
@@ -118,6 +154,12 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     parent can do per-slot bookkeeping regardless of what went wrong.
     """
     index = int(payload["index"])
+    # A per-payload fault plan (the daemon's per-submission "faults" field)
+    # arms only around this one run and is disarmed afterwards, so a pool
+    # worker that survives a "raise" action executes its next payload clean.
+    plan = payload.get("faults")
+    if plan:
+        faults.configure(plan)
     try:
         spec = ScenarioSpec.from_dict(payload["spec"])
         result = _run_payload(spec, payload)
@@ -129,6 +171,9 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             scenario, engine, exc, attempts=int(payload.get("attempt", 1))
         )
         return {"index": index, "failure": failure.to_dict()}
+    finally:
+        if plan:
+            faults.reset()
 
 
 def _default_mp_context():
@@ -287,6 +332,15 @@ class ExecutionService:
         pool.  When omitted the service lazily creates its own pool, keeps it
         warm across :meth:`run` calls, and releases it in :meth:`close` (or
         on ``with`` exit).
+    owner / lease_ttl:
+        Run-ownership lease identity shipped to every worker's store (see
+        :class:`~repro.api.store.CheckpointStore`).  All workers of this
+        service share the one identity — a retry on a different worker
+        renews the lease rather than colliding with it — and the recorded
+        pid is *this* process's, so leases become breakable when the service
+        (not an individual worker) dies.  ``None`` (default) disables
+        leasing; a second service writing the same run ids then behaves
+        exactly as before.
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -296,7 +350,9 @@ class ExecutionService:
                  keep: int = 0,
                  retention=None,
                  mp_context=None,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 owner: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
         if workers is None:
             workers = pool.workers if pool is not None else (os.cpu_count() or 1)
         if workers < 0:
@@ -330,6 +386,9 @@ class ExecutionService:
                 "(keep=/every=/max-age=/max-bytes= terms) because it is "
                 f"shipped to worker processes as JSON: {exc}"
             ) from exc
+        self.owner = str(owner) if owner is not None else None
+        self.owner_pid = os.getpid()
+        self.lease_ttl = float(lease_ttl)
         self._mp_context = mp_context
         self._pool = pool
         self._owns_pool = pool is None
@@ -356,7 +415,7 @@ class ExecutionService:
     # ------------------------------------------------------------------
     def _payload(self, index: int, spec: ScenarioSpec, run_id: str,
                  resume: bool, attempt: int) -> Dict[str, Any]:
-        return {
+        payload = {
             "index": index,
             "spec": spec.to_dict(),
             "run_id": run_id,
@@ -367,6 +426,11 @@ class ExecutionService:
             "resume": bool(resume),
             "attempt": int(attempt),
         }
+        if self.owner is not None:
+            payload["owner"] = self.owner
+            payload["owner_pid"] = self.owner_pid
+            payload["lease_ttl"] = self.lease_ttl
+        return payload
 
     def _run_pool(self, pool: WorkerPool, payloads: List[Dict[str, Any]],
                   ) -> Dict[int, Dict[str, Any]]:
@@ -377,10 +441,20 @@ class ExecutionService:
         ``pool_broken`` so the caller can tell collateral damage (a healthy
         run whose pool was broken by a neighbour) from a run's own failure.
         A broken pool is reset so the next submission restarts fresh workers.
+        ``submit`` itself can raise on an already-broken pool; that too must
+        become a failed (pool_broken) slot instead of escaping ``run()``.
         """
         outcomes: Dict[int, Dict[str, Any]] = {}
         broken = False
-        futures = {pool.submit(payload): payload for payload in payloads}
+        futures: Dict["Future[Dict[str, Any]]", Dict[str, Any]] = {}
+        for payload in payloads:
+            try:
+                faults.point(FAULT_SPAWN_PRE_SUBMIT)
+                future = pool.submit(payload)
+            except Exception as exc:  # noqa: BLE001 - broken-pool submit
+                future = Future()
+                future.set_exception(exc)
+            futures[future] = payload
         for future in as_completed(futures):
             payload = futures[future]
             index = int(payload["index"])
@@ -464,7 +538,17 @@ class ExecutionService:
                 attempts[index] += 1
                 if attempts[index] <= self.max_retries:
                     # Retry with resume: with checkpointing enabled the rerun
-                    # continues from the last stored snapshot.
+                    # continues from the last stored snapshot.  An injected
+                    # fault here abandons the retry: the slot keeps its typed
+                    # failure with the attempts it was actually charged —
+                    # run() still never raises.
+                    try:
+                        faults.point(FAULT_RETRY_PRE_REQUEUE)
+                    except faults.InjectedFault:
+                        failure = RunFailure.from_dict(outcome["failure"])
+                        failure.attempts = attempts[index]
+                        slots[index] = failure
+                        continue
                     retry.append(
                         self._payload(
                             index, specs[index], run_ids[index],

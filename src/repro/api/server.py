@@ -53,6 +53,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import threading
 import time
 from collections import OrderedDict, deque
@@ -60,16 +61,48 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from repro import faults
 from repro.api.executor import WorkerPool
 from repro.api.registry import default_registry
 from repro.api.spec import ScenarioSpec
 from repro.api.store import CheckpointStore, atomic_write_json, validate_key
+from repro.store import DEFAULT_LEASE_TTL_S
+from repro.store.errors import CheckpointError
+from repro.store.locks import lease_stale, pid_alive
+from repro.store.manifest import read_manifest
 from repro.store.retention import (
     CompositePolicy, KeepEvery, RetentionPolicy, StoredItem,
     describe_retention, parse_retention,
+)
+from repro.store.util import exclusive_create_json
+
+FAULT_JOURNAL_PRE_WRITE = faults.register(
+    "server.journal.pre_write",
+    "before an accepted submission's journal entry is created (nothing "
+    "durable yet — the client never got an ack, the run never existed)",
+)
+FAULT_JOURNAL_POST_WRITE = faults.register(
+    "server.journal.post_write",
+    "after the journal entry is durable, before the ack (recovery must "
+    "re-run the journalled-but-unacked submission)",
+)
+FAULT_RESULT_PRE_PERSIST = faults.register(
+    "server.result.pre_persist",
+    "after a run finished, before its result file is written (journal "
+    "still present — recovery must re-run and reproduce the result)",
+)
+FAULT_RESULT_POST_PERSIST = faults.register(
+    "server.result.post_persist",
+    "after the result file is durable, before the journal entry is "
+    "removed (a dead journal entry recovery must drop, not re-run)",
+)
+FAULT_SERVE_RETRY_PRE_REQUEUE = faults.register(
+    "server.retry.pre_requeue",
+    "before a failed run is requeued for its resume-retry (a crash here "
+    "must leave the run journalled for the next daemon)",
 )
 
 #: Wire-protocol version prefix of every route.
@@ -112,11 +145,18 @@ def _without_keep_every(policy: Optional[RetentionPolicy],
 
 
 class ServerError(RuntimeError):
-    """A request the daemon refused; carries the HTTP status to answer with."""
+    """A request the daemon refused; carries the HTTP status to answer with.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (seconds) is emitted as a ``Retry-After`` header when
+    set — honest backpressure for 429/503 so clients back off for about as
+    long as the queue actually needs instead of guessing.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -132,6 +172,9 @@ class RunRecord:
     pool_breaks: int = 0
     resume: bool = False
     recovered: bool = False
+    #: Per-submission fault plan (chaos testing); rides the worker payload
+    #: but is never journalled, so a recovered run replays clean.
+    faults: Optional[Union[str, Dict[str, str]]] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -188,6 +231,18 @@ class ScenarioServer:
         governs the daemon's own housekeeping: on startup replay, persisted
         results that fall outside the policy are pruned together with their
         checkpoint runs, so the state directory stops growing without bound.
+    owner:
+        This daemon's run-ownership identity (defaults to
+        ``serve:<hostname>:<pid>``).  Stamped into journal entries and into
+        each run's manifest lease, it is what lets several daemons share one
+        state root: a contested run id answers 409 naming the owner, and a
+        dead owner's runs become claimable (journal-owner pid provably dead,
+        or manifest lease past its TTL).
+    lease_ttl:
+        Seconds a run's manifest lease stays live past its last checkpoint
+        (forwarded to the workers' stores).  Must comfortably exceed the
+        checkpoint cadence; cross-host takeover waits this long after the
+        owner's last save, same-host takeover is immediate on owner death.
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
@@ -195,7 +250,9 @@ class ScenarioServer:
                  checkpoint_every: Optional[int] = None,
                  max_retries: int = 1, keep: int = 0,
                  retention=None,
-                 mp_context=None) -> None:
+                 mp_context=None,
+                 owner: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         if max_retries < 0:
@@ -219,11 +276,16 @@ class ScenarioServer:
                 "(keep=/every=/max-age=/max-bytes= terms) because it is "
                 f"shipped to worker processes as JSON: {exc}"
             ) from exc
+        self.owner = str(owner) if owner is not None \
+            else f"serve:{socket.gethostname()}:{os.getpid()}"
+        self.lease_ttl = float(lease_ttl)
         self.store = CheckpointStore(
             self.root / "checkpoints", keep=keep, retention=self.retention
         )
         self.pool = WorkerPool(workers, mp_context=mp_context)
         self.started_at = time.time()
+        #: EWMA of finished-run wall time, the basis of Retry-After hints.
+        self._avg_run_s: Optional[float] = None
 
         self._queue_dir = self.root / "queue"
         self._results_dir = self.root / "results"
@@ -247,20 +309,87 @@ class ScenarioServer:
     def _result_path(self, run_id: str) -> Path:
         return self._results_dir / f"{run_id}.json"
 
-    def _journal(self, record: RunRecord) -> None:
-        atomic_write_json(self._journal_path(record.run_id), {
+    def _journal_entry(self, record: RunRecord) -> Dict[str, Any]:
+        return {
             "run_id": record.run_id,
             "seq": record.seq,
             "spec": record.spec,
             "checkpoint_every": record.checkpoint_every,
             "submitted_at": record.submitted_at,
-        })
+            # Ownership: which daemon is responsible for this run.  The pid/
+            # host pair is what makes a dead daemon's claims provably stale.
+            "owner": self.owner,
+            "owner_pid": os.getpid(),
+            "owner_host": socket.gethostname(),
+        }
+
+    def _journal(self, record: RunRecord) -> None:
+        """(Re)write a journal entry under this daemon's ownership."""
+        faults.point(FAULT_JOURNAL_PRE_WRITE)
+        atomic_write_json(
+            self._journal_path(record.run_id), self._journal_entry(record)
+        )
+        faults.point(FAULT_JOURNAL_POST_WRITE)
+
+    def _claim_journal(self, record: RunRecord) -> bool:
+        """Create the journal entry only if no other daemon holds one.
+
+        The exclusive create is the cross-process claim point for a run id:
+        when two daemons race the same id on one shared root, exactly one
+        journal file appears and the loser sees False.
+        """
+        faults.point(FAULT_JOURNAL_PRE_WRITE)
+        created = exclusive_create_json(
+            self._journal_path(record.run_id), self._journal_entry(record)
+        )
+        if created:
+            faults.point(FAULT_JOURNAL_POST_WRITE)
+        return created
+
+    def _read_journal(self, run_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._journal_path(run_id), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def _foreign_owner_alive(self, entry: Dict[str, Any], run_id: str) -> bool:
+        """Best evidence on whether a foreign journal entry's owner is alive.
+
+        Same-host owners are probed directly by pid — a SIGKILLed daemon's
+        runs become claimable immediately.  Otherwise the run's manifest
+        lease decides: a lease renewed within its TTL means a live writer;
+        no lease (the run never checkpointed) falls back to the journal
+        entry itself being fresh evidence is absent — treat as dead, the
+        save-time lease check is the final arbiter of an actual race.
+        """
+        host = entry.get("owner_host")
+        pid = entry.get("owner_pid")
+        if host == socket.gethostname() and pid:
+            try:
+                alive = pid_alive(int(pid))
+            except (TypeError, ValueError):
+                alive = None
+            if alive is not None:
+                return alive
+        scenario = str(entry.get("spec", {}).get("name", ""))
+        if scenario:
+            try:
+                manifest = read_manifest(self.store.run_dir(scenario, run_id))
+            except (CheckpointError, ValueError):
+                return False
+            if manifest is not None:
+                return not lease_stale(manifest.get("lease"))
+        return False
 
     def _persist_outcome(self, record: RunRecord,
                          outcome: Dict[str, Any]) -> None:
         payload = {"run_id": record.run_id, "finished_at": record.finished_at}
         payload.update(outcome)
+        faults.point(FAULT_RESULT_PRE_PERSIST)
         atomic_write_json(self._result_path(record.run_id), payload)
+        faults.point(FAULT_RESULT_POST_PERSIST)
         try:
             self._journal_path(record.run_id).unlink()
         except OSError:
@@ -273,6 +402,12 @@ class ScenarioServer:
         with stored snapshots continue from their latest one, runs that died
         before the first snapshot start over — either way the eventual result
         is bit-identical to an uninterrupted run.
+
+        On a root shared by several daemons, entries stamped with a *live*
+        foreign owner are left alone — that daemon is still responsible for
+        them.  Dead-owner and ownerless (pre-ownership) entries are adopted:
+        their journals are rewritten under this daemon's identity so the next
+        observer attributes them correctly.
         """
         if not self._queue_dir.is_dir():
             return
@@ -301,6 +436,10 @@ class ScenarioServer:
                 except OSError:
                     pass
                 continue
+            owner = entry.get("owner")
+            if (owner and owner != self.owner
+                    and self._foreign_owner_alive(entry, run_id)):
+                continue  # a live sibling daemon's run, not ours to replay
             record = RunRecord(
                 run_id=run_id,
                 seq=int(entry.get("seq", 0)),
@@ -313,6 +452,11 @@ class ScenarioServer:
             self._records[run_id] = record
             self._queue.append(run_id)
             self._seq = max(self._seq, record.seq + 1)
+            if owner != self.owner:
+                try:
+                    self._journal(record)
+                except (OSError, faults.InjectedFault):
+                    pass  # adoption stamp is cosmetic; the replay still runs
 
     def _housekeep(self) -> None:
         """Bound the state directory on startup replay.
@@ -376,12 +520,19 @@ class ScenarioServer:
     # Submission + scheduling
     # ------------------------------------------------------------------
     def submit(self, spec: Dict[str, Any], run_id: Optional[str] = None,
-               checkpoint_every: Optional[int] = None) -> Dict[str, Any]:
+               checkpoint_every: Optional[int] = None,
+               fault_plan: Optional[Union[str, Dict[str, str]]] = None,
+               ) -> Dict[str, Any]:
         """Queue one spec dict; returns the acknowledged record + position.
 
         The spec is validated (round-tripped through :class:`ScenarioSpec`)
         and the journal entry is flushed to disk before the ack, so an
-        accepted submission survives a daemon crash.
+        accepted submission survives a daemon crash.  The journal write is
+        an *exclusive create* — on a root shared by several daemons it is
+        the claim point for the run id: a second daemon's submission of the
+        same id answers 409 naming the owner while that owner lives, and
+        takes the run over (resuming from its snapshots) once the owner is
+        provably dead or its lease expired.
         """
         try:
             validated = ScenarioSpec.from_dict(spec)
@@ -398,6 +549,12 @@ class ScenarioServer:
                 ) from exc
             if checkpoint_every < 1:
                 raise ServerError(400, "checkpoint_every must be >= 1")
+        if fault_plan:
+            try:
+                faults.parse_plan(fault_plan)
+            except faults.FaultPlanError as exc:
+                raise ServerError(400, f"invalid fault plan: {exc}") from exc
+        auto_id = run_id is None
         if run_id is not None:
             # The run id becomes journal/result/checkpoint file names — the
             # same path-component rules as the checkpoint store apply.
@@ -407,21 +564,30 @@ class ScenarioServer:
                 raise ServerError(400, str(exc)) from exc
         with self._wake:
             if self._stopping:
-                raise ServerError(503, "daemon is draining; resubmit later")
+                raise ServerError(
+                    503, "daemon is draining; resubmit later",
+                    retry_after=5.0,
+                )
             if len(self._queue) >= self.queue_size:
                 raise ServerError(
                     429,
                     f"queue is full ({self.queue_size} pending submissions)",
+                    retry_after=self._backpressure_hint(),
                 )
             if run_id is None:
                 run_id = self._fresh_run_id()
-            elif self._run_id_taken(run_id):
+            elif (run_id in self._records
+                  or self._result_path(run_id).exists()):
+                # Locally known or already finished.  A bare journal entry is
+                # NOT checked here: it may be another daemon's claim, which
+                # _claim_run arbitrates (409 naming the owner, or takeover).
                 raise ServerError(409, f"run id {run_id!r} already exists")
             record = RunRecord(
                 run_id=run_id,
                 seq=self._seq,
                 spec=validated.to_dict(),
                 checkpoint_every=checkpoint_every,
+                faults=fault_plan,
             )
             self._seq += 1
             # Inserting the record reserves the run id; the journal fsync
@@ -429,18 +595,78 @@ class ScenarioServer:
             # the scheduler and every other request behind one submission.
             self._records[run_id] = record
         try:
-            self._journal(record)
+            self._claim_run(record, auto_id=auto_id)
         except BaseException:
             with self._wake:
-                self._records.pop(run_id, None)
+                self._records.pop(record.run_id, None)
             raise
         with self._wake:
-            self._queue.append(run_id)
+            self._queue.append(record.run_id)
             position = len(self._queue)
             self._wake.notify_all()
         ack = record.to_dict()
         ack["position"] = position
         return ack
+
+    def _claim_run(self, record: RunRecord, auto_id: bool) -> None:
+        """Make ``record``'s run id this daemon's, durably, or raise 409.
+
+        An existing *foreign* journal entry whose owner is alive is a
+        conflict; a dead owner's entry is taken over (the run resumes from
+        its snapshots — the lease inside the manifest arbitrates any true
+        race at save time).  Auto-assigned ids never conflict: losing the
+        exclusive-create race just moves on to the next candidate.
+        """
+        while True:
+            if self._claim_journal(record):
+                return
+            if auto_id:
+                # Another daemon on the same root claimed this candidate
+                # first; _fresh_run_id skips it now that its journal exists.
+                with self._wake:
+                    self._records.pop(record.run_id, None)
+                    record.run_id = self._fresh_run_id()
+                    record.seq = self._seq
+                    self._seq += 1
+                    self._records[record.run_id] = record
+                continue
+            entry = self._read_journal(record.run_id)
+            if entry is None:
+                # The competing journal vanished between the failed claim
+                # and the read (its run just finished, or was taken over and
+                # completed) — try the claim again.
+                continue
+            owner = entry.get("owner")
+            if owner in (None, self.owner):
+                # Our own (or a pre-ownership) journal entry: an ordinary
+                # duplicate submission, same answer as a live record.
+                raise ServerError(
+                    409, f"run id {record.run_id!r} already exists"
+                )
+            if self._foreign_owner_alive(entry, record.run_id):
+                raise ServerError(
+                    409,
+                    f"run id {record.run_id!r} is owned by {owner!r}",
+                )
+            # Stale foreign claim: adopt the run.  Resume from its stored
+            # snapshots so the takeover continues the run bit-identically
+            # instead of restarting it.
+            record.resume = True
+            record.recovered = True
+            self._journal(record)
+            return
+
+    def _backpressure_hint(self) -> float:
+        """Seconds until a queue slot should free up (caller holds _wake).
+
+        Honest backpressure from observed behaviour: pending work divided by
+        execution slots, scaled by the EWMA of finished-run wall time.  The
+        clamp keeps pathological estimates (a first run still warming up its
+        caches, a long-idle daemon) inside a sane retry window.
+        """
+        pending = len(self._queue) + len(self._inflight)
+        per_run = self._avg_run_s if self._avg_run_s is not None else 1.0
+        return min(60.0, max(1.0, per_run * pending / self._slots()))
 
     def _run_id_taken(self, run_id: str) -> bool:
         """A run id is taken by a live record, a journal entry, or a result
@@ -462,7 +688,7 @@ class ScenarioServer:
             self._seq += 1
 
     def _payload(self, record: RunRecord) -> Dict[str, Any]:
-        return {
+        payload = {
             "index": record.seq,
             "spec": record.spec,
             "run_id": record.run_id,
@@ -472,7 +698,17 @@ class ScenarioServer:
             "retention": self.retention_spec,
             "resume": bool(record.resume),
             "attempt": record.attempts + 1,
+            # Lease identity: the worker claims/renews the run's manifest
+            # lease on the daemon's behalf — owner_pid is *this* daemon's
+            # pid, not the worker's, so retries on different pool workers
+            # renew the same lease instead of colliding with it.
+            "owner": self.owner,
+            "owner_pid": os.getpid(),
+            "lease_ttl": self.lease_ttl,
         }
+        if record.faults:
+            payload["faults"] = record.faults
+        return payload
 
     def _slots(self) -> int:
         return max(1, self.pool.workers)
@@ -555,8 +791,25 @@ class ScenarioServer:
                 record.resumed_from_step = executor_meta.get(
                     "resumed_from_step"
                 )
+                self._observe_run_time(record)
                 self._wake.notify_all()
         elif record.attempts <= self.max_retries:
+            try:
+                faults.point(FAULT_SERVE_RETRY_PRE_REQUEUE)
+            except faults.InjectedFault as exc:
+                # An injected requeue fault abandons the retry: the run fails
+                # typed, with its attempts charged — _on_done never raises
+                # into the future's callback machinery.
+                record.finished_at = time.time()
+                failure = dict(outcome["failure"])
+                failure["error"] = f"{type(exc).__name__}: {exc}"
+                failure["attempts"] = record.attempts
+                self._persist_outcome(record, {"failure": failure})
+                with self._wake:
+                    record.status = "failed"
+                    record.error = str(failure["error"])
+                    self._wake.notify_all()
+                return
             with self._wake:
                 # Retry from the last snapshot: requeue at the *front* so an
                 # interrupted run keeps its place in line.
@@ -573,7 +826,18 @@ class ScenarioServer:
             with self._wake:
                 record.status = "failed"
                 record.error = str(failure.get("error", ""))
+                self._observe_run_time(record)
                 self._wake.notify_all()
+
+    def _observe_run_time(self, record: RunRecord) -> None:
+        """Fold one finished run's wall time into the EWMA (holding _wake)."""
+        if record.started_at is None or record.finished_at is None:
+            return
+        elapsed = max(0.0, record.finished_at - record.started_at)
+        if self._avg_run_s is None:
+            self._avg_run_s = elapsed
+        else:
+            self._avg_run_s = 0.7 * self._avg_run_s + 0.3 * elapsed
 
     # ------------------------------------------------------------------
     # Introspection (thread-safe snapshots)
@@ -630,6 +894,7 @@ class ScenarioServer:
             return {
                 "ok": True,
                 "pid": os.getpid(),
+                "owner": self.owner,
                 "uptime_s": time.time() - self.started_at,
                 "workers": self.pool.workers,
                 "pool_started": self.pool.started,
@@ -787,8 +1052,18 @@ def _make_handler(daemon: ScenarioServer):
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_error_json(self, status: int, message: str) -> None:
-            self._send_json({"error": message}, status=status)
+        def _send_error_json(self, status: int, message: str,
+                             retry_after: Optional[float] = None) -> None:
+            body = (json.dumps({"error": message}) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                # Whole seconds, rounded up: HTTP Retry-After is integral,
+                # and rounding down would tell clients to retry too early.
+                self.send_header("Retry-After", str(int(retry_after + 0.999)))
+            self.end_headers()
+            self.wfile.write(body)
 
         def _read_body(self) -> Dict[str, Any]:
             length = int(self.headers.get("Content-Length") or 0)
@@ -847,6 +1122,7 @@ def _make_handler(daemon: ScenarioServer):
                     spec,
                     run_id=body.get("run_id"),
                     checkpoint_every=body.get("checkpoint_every"),
+                    fault_plan=body.get("faults"),
                 )
                 return self._send_json(ack, status=202)
             if parts == ["shutdown"]:
@@ -915,7 +1191,8 @@ def _make_handler(daemon: ScenarioServer):
             try:
                 self._route(method)
             except ServerError as exc:
-                self._send_error_json(exc.status, str(exc))
+                self._send_error_json(exc.status, str(exc),
+                                      retry_after=exc.retry_after)
             except (BrokenPipeError, ConnectionResetError):
                 pass  # the client hung up
             except Exception as exc:  # noqa: BLE001 - the daemon must answer

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.store import (
-    LegacyCheckpointStore, RunStore, STORE_FORMAT,
+    DEFAULT_LEASE_TTL_S, LegacyCheckpointStore, RunStore, STORE_FORMAT,
     atomic_write_json, validate_key,
 )
 from repro.store.retention import (
@@ -74,16 +74,29 @@ class CheckpointStore:
     format:
         On-disk format to *write*: 2 (default, incremental binary) or 1
         (the previous per-snapshot-JSON layout).  Reading auto-detects.
+    owner / owner_pid / owner_host / lease_ttl:
+        Run-ownership lease identity, forwarded to
+        :class:`~repro.store.runstore.RunStore`.  With an ``owner`` set,
+        every save claims/renews a lease on the run inside its manifest and
+        a second live owner's save raises
+        :class:`~repro.store.errors.RunLeaseHeld`; without one (the
+        default), saves are lease-oblivious.  Ignored by ``format=1``
+        (the v1 layout has no manifest to hold a lease).
     """
 
     def __init__(self, root, keep: int = 0,
                  retention: RetentionLike = None,
-                 format: int = STORE_FORMAT) -> None:
+                 format: int = STORE_FORMAT,
+                 owner: Optional[str] = None,
+                 owner_pid: Optional[int] = None,
+                 owner_host: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
         self.root = Path(root)
         if keep < 0:
             raise ValueError("keep must be >= 0")
         self.keep = int(keep)
         self.format = int(format)
+        self.owner = str(owner) if owner is not None else None
         self._impl: Union[RunStore, LegacyCheckpointStore]
         if self.format == 1:
             if parse_retention(retention) is not None:
@@ -94,7 +107,9 @@ class CheckpointStore:
             self._impl = LegacyCheckpointStore(root, keep=self.keep)
         elif self.format == STORE_FORMAT:
             self._impl = RunStore(
-                root, retention=_combine_retention(self.keep, retention)
+                root, retention=_combine_retention(self.keep, retention),
+                owner=owner, owner_pid=owner_pid, owner_host=owner_host,
+                lease_ttl=lease_ttl,
             )
         else:
             raise ValueError(
@@ -141,3 +156,11 @@ class CheckpointStore:
     def run_ids(self, scenario: str) -> List[str]:
         """Run ids stored for one scenario."""
         return self._impl.run_ids(scenario)
+
+    def release(self, scenario: str, run_id: str = "default") -> bool:
+        """Drop this store's lease on a finished run (see
+        :meth:`repro.store.runstore.RunStore.release`).  A no-op (False) for
+        lease-less stores and the v1 format."""
+        if self.owner is None or not isinstance(self._impl, RunStore):
+            return False
+        return self._impl.release(scenario, run_id)

@@ -17,6 +17,9 @@ remains the thin compatibility facade the rest of the code talks to):
   :func:`parse_retention` for spec strings.
 * :mod:`repro.store.legacy`    — the v1 one-JSON-file-per-snapshot layout
   (still written via ``format=1`` and read transparently as a fallback).
+* :mod:`repro.store.locks`     — the cross-process per-run file lock and the
+  run-ownership lease records inside the manifest (TTL + heartbeat +
+  stale-lease takeover).
 * :mod:`repro.store.migrate`   — in-place v1 -> v2 upgrade + compaction.
 * :mod:`repro.store.cli`       — ``repro store ls/inspect/migrate/compact``.
 
@@ -26,8 +29,14 @@ plain checkpoint payload dicts the engine layer emits, which is what lets
 an import cycle.
 """
 
-from repro.store.errors import CheckpointError, StoreFormatError
+from repro.store.errors import (
+    CheckpointError, RunLeaseHeld, StoreFormatError, StoreLockTimeout,
+)
 from repro.store.legacy import LegacyCheckpointStore
+from repro.store.locks import (
+    DEFAULT_LEASE_TTL_S, RunLock, claim_lease, default_owner, lease_remaining,
+    lease_stale, release_lease,
+)
 from repro.store.manifest import STORE_FORMAT
 from repro.store.retention import (
     CompositePolicy, KeepEvery, KeepLast, MaxAge, MaxBytes, RetentionPolicy,
@@ -39,19 +48,28 @@ from repro.store.util import atomic_write_bytes, atomic_write_json, validate_key
 __all__ = [
     "CheckpointError",
     "CompositePolicy",
+    "DEFAULT_LEASE_TTL_S",
     "KeepEvery",
     "KeepLast",
     "LegacyCheckpointStore",
     "MaxAge",
     "MaxBytes",
     "RetentionPolicy",
+    "RunLeaseHeld",
+    "RunLock",
     "RunStore",
     "STORE_FORMAT",
     "StoreFormatError",
+    "StoreLockTimeout",
     "StoredItem",
     "atomic_write_bytes",
     "atomic_write_json",
+    "claim_lease",
+    "default_owner",
     "describe_retention",
+    "lease_remaining",
+    "lease_stale",
     "parse_retention",
+    "release_lease",
     "validate_key",
 ]

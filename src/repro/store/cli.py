@@ -10,16 +10,38 @@ Subcommands::
     repro store inspect DIR scenario run_id   one run's manifest summary
     repro store migrate DIR [--scenario S] [--keep-v1]
     repro store compact DIR [--scenario S] [--retention SPEC]
+
+Every subcommand exits 2 with a one-line ``error:`` diagnostic on a corrupt
+or unreadable store (a manifest that is not valid JSON, not an object, or
+missing its required sections) — an operator pointing ``ls`` at a damaged
+tree gets told which manifest is bad, never a traceback.
 """
 
 from __future__ import annotations
 
+import functools
 import json
+import sys
 from typing import Optional
 
+from repro.store.errors import CheckpointError
 from repro.store.migrate import compact_tree, migrate_tree, verify_run
 from repro.store.retention import parse_retention
 from repro.store.runstore import RunStore
+
+
+def _store_errors(command):
+    """Turn storage faults into a one-line stderr diagnostic and exit 2."""
+
+    @functools.wraps(command)
+    def wrapper(*args, **kwargs) -> int:
+        try:
+            return command(*args, **kwargs)
+        except (CheckpointError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapper
 
 
 def _human_bytes(count) -> str:
@@ -31,6 +53,7 @@ def _human_bytes(count) -> str:
     return f"{count:.1f} GiB"  # pragma: no cover - unreachable
 
 
+@_store_errors
 def cmd_ls(root, scenario: Optional[str] = None, as_json: bool = False) -> int:
     store = RunStore(root)
     rows = []
@@ -60,6 +83,7 @@ def cmd_ls(root, scenario: Optional[str] = None, as_json: bool = False) -> int:
     return 0
 
 
+@_store_errors
 def cmd_inspect(root, scenario: str, run_id: str) -> int:
     store = RunStore(root)
     summary = store.describe(scenario, run_id)
@@ -71,6 +95,7 @@ def cmd_inspect(root, scenario: str, run_id: str) -> int:
     return 0
 
 
+@_store_errors
 def cmd_migrate(root, scenario: Optional[str] = None,
                 keep_v1: bool = False) -> int:
     store = RunStore(root)
@@ -86,6 +111,7 @@ def cmd_migrate(root, scenario: Optional[str] = None,
     return 0
 
 
+@_store_errors
 def cmd_compact(root, scenario: Optional[str] = None,
                 retention: Optional[str] = None) -> int:
     policy = parse_retention(retention)

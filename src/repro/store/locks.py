@@ -1,0 +1,294 @@
+"""Cross-process locking and run-ownership leases.
+
+Two mechanisms with two different jobs, layered so that the fleet ROADMAP's
+"many daemons, one store" direction has a safe foundation:
+
+**The per-run file lock** (:class:`RunLock`) is short-lived and advisory: it
+serialises individual manifest read-modify-commit cycles across processes.
+``RunStore`` takes it around every ``save``/``prune``/``compact`` so that two
+writers interleaving on one run can never build a manifest from a stale read.
+The canonical implementation is ``fcntl.flock`` on ``<run_dir>/.lock`` —
+kernel-owned, so a SIGKILLed holder releases it instantly.  Where ``fcntl``
+is unavailable the fallback is an ``O_CREAT|O_EXCL`` pidfile with staleness
+breaking (dead pid, or mtime older than ``STALE_PIDFILE_S``); strictly
+weaker, but it degrades the same way the lease does rather than failing.
+
+**The lease** is long-lived and *advisory at the data level*: a record inside
+``MANIFEST.json`` naming the run's current owner.  Every checkpoint save
+renews it (the heartbeat rides the atomic manifest rewrite — no extra I/O,
+no separate heartbeat file to fsync), so a live writer's lease is at most one
+checkpoint interval old.  A second writer claiming the run under the file
+lock sees the fresh foreign lease and gets a typed
+:class:`~repro.store.errors.RunLeaseHeld` instead of silently clobbering.
+Staleness makes SIGKILL recoverable: a lease is stale once its TTL has
+elapsed since the last renewal, or immediately when its owner pid is known
+dead on this host — the missing half of the journal-replay resume path.
+
+Lease-less manifests (every v2 manifest written before this layer existed)
+read as *unleased* and are claimable by anyone; ``store_format`` stays 2.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.store.errors import RunLeaseHeld, StoreLockTimeout
+
+try:  # pragma: no cover - exercised via the fallback tests' monkeypatch
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "DEFAULT_LEASE_TTL_S",
+    "LOCK_NAME",
+    "RunLock",
+    "claim_lease",
+    "default_owner",
+    "lease_remaining",
+    "lease_stale",
+    "pid_alive",
+    "release_lease",
+]
+
+LOCK_NAME = ".lock"
+
+#: Default lease TTL.  Deliberately generous relative to checkpoint cadence
+#: (the heartbeat) so one slow checkpoint never looks like a dead owner;
+#: pid-liveness makes same-host takeover immediate regardless of TTL.
+DEFAULT_LEASE_TTL_S = 60.0
+
+#: Fallback pidfiles older than this are considered breakable even when the
+#: owner pid cannot be probed (different host, or pid recycled).
+STALE_PIDFILE_S = 300.0
+
+
+def default_owner() -> str:
+    """This process's default lease identity, ``<hostname>:<pid>``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def pid_alive(pid: int) -> Optional[bool]:
+    """Liveness of a local pid: True/False, or None when unknowable."""
+    if pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return None
+    return True
+
+
+# ----------------------------------------------------------------------
+# The per-run advisory file lock
+# ----------------------------------------------------------------------
+class RunLock:
+    """Advisory cross-process mutex on one run directory (context manager).
+
+    Reentrant within a process *by design choice of the caller*: ``RunStore``
+    pairs it with its per-run ``threading.Lock``, so one process never takes
+    a ``RunLock`` twice concurrently — the file lock only arbitrates between
+    processes.
+    """
+
+    def __init__(self, run_dir, timeout: float = 10.0,
+                 poll: float = 0.02) -> None:
+        self.path = Path(run_dir) / LOCK_NAME
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+        self._fd: Optional[int] = None
+        self._pidfile = False
+
+    # -- fcntl path ----------------------------------------------------
+    def _try_flock(self) -> bool:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            os.close(fd)
+            if exc.errno in (errno.EAGAIN, errno.EACCES):
+                return False
+            raise
+        # Advisory breadcrumb for humans inspecting a wedged store; the
+        # kernel lock, not this content, is what arbitrates.  Rewriting it
+        # is a journalled metadata write (~100x the flock itself), so skip
+        # it when the previous holder was already us.
+        breadcrumb = f"{os.getpid()} {default_owner()}\n".encode()
+        try:
+            if os.pread(fd, len(breadcrumb) + 1, 0) != breadcrumb:
+                os.ftruncate(fd, 0)
+                os.write(fd, breadcrumb)
+        except OSError:
+            pass
+        self._fd = fd
+        return True
+
+    # -- O_EXCL pidfile fallback ---------------------------------------
+    def _try_pidfile(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            self._break_stale_pidfile()
+            return False
+        os.write(fd, f"{os.getpid()} {default_owner()}\n".encode())
+        self._fd = fd
+        self._pidfile = True
+        return True
+
+    def _break_stale_pidfile(self) -> None:
+        """Remove the pidfile if its holder is provably dead or ancient."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                first = handle.read().split()
+            holder_pid = int(first[0]) if first else -1
+        except (OSError, ValueError):
+            holder_pid = -1
+        stale = pid_alive(holder_pid) is False
+        if not stale:
+            try:
+                age = time.time() - os.stat(self.path).st_mtime
+                stale = age > STALE_PIDFILE_S
+            except OSError:
+                return  # raced with the holder's release
+        if stale:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    # -- public protocol ----------------------------------------------
+    def acquire(self) -> "RunLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        attempt = self._try_flock if fcntl is not None else self._try_pidfile
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if attempt():
+                return self
+            if time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"could not acquire run lock {self.path} within "
+                    f"{self.timeout:.1f}s (another writer is committing)"
+                )
+            time.sleep(self.poll)
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if self._pidfile:
+            self._pidfile = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        os.close(fd)  # closing drops the flock
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "RunLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# Lease records inside MANIFEST.json
+# ----------------------------------------------------------------------
+def lease_remaining(lease: Optional[Dict[str, Any]],
+                    now: Optional[float] = None) -> float:
+    """Seconds until ``lease`` expires by TTL; 0 for no/expired lease."""
+    if not lease:
+        return 0.0
+    now = time.time() if now is None else now
+    try:
+        renewed = float(lease.get("renewed_at", lease.get("acquired_at", 0.0)))
+        ttl = float(lease.get("ttl", DEFAULT_LEASE_TTL_S))
+    except (TypeError, ValueError):
+        return 0.0
+    return max(0.0, renewed + ttl - now)
+
+
+def lease_stale(lease: Optional[Dict[str, Any]],
+                now: Optional[float] = None) -> bool:
+    """Whether ``lease`` is takeable: absent, TTL-expired, or owner dead.
+
+    The pid-liveness fast path only applies when the lease was issued on
+    *this* host — a pid number from another machine means nothing here.
+    """
+    if not lease:
+        return True
+    if lease_remaining(lease, now) <= 0.0:
+        return True
+    if lease.get("host") == socket.gethostname():
+        try:
+            pid = int(lease.get("pid", -1))
+        except (TypeError, ValueError):
+            return False
+        if pid_alive(pid) is False:
+            return True
+    return False
+
+
+def claim_lease(manifest: Dict[str, Any], owner: str,
+                pid: Optional[int] = None, host: Optional[str] = None,
+                ttl: float = DEFAULT_LEASE_TTL_S,
+                now: Optional[float] = None) -> Dict[str, Any]:
+    """Claim or renew the run lease inside ``manifest`` (mutates it).
+
+    Absent or stale lease: claimed fresh.  Own lease: renewed (the
+    heartbeat).  A live foreign lease raises
+    :class:`~repro.store.errors.RunLeaseHeld`.  Callers must hold the run's
+    :class:`RunLock` and persist the manifest afterwards — the lease only
+    exists once the atomic manifest rewrite lands.
+    """
+    now = time.time() if now is None else now
+    current = manifest.get("lease")
+    if current and current.get("owner") != owner and not lease_stale(current, now):
+        raise RunLeaseHeld(
+            str(manifest.get("scenario", "?")),
+            str(manifest.get("run_id", "?")),
+            str(current.get("owner")),
+            lease_remaining(current, now),
+        )
+    acquired = now
+    if current and current.get("owner") == owner:
+        try:
+            acquired = float(current.get("acquired_at", now))
+        except (TypeError, ValueError):
+            acquired = now
+    lease = {
+        "owner": str(owner),
+        "pid": int(os.getpid() if pid is None else pid),
+        "host": str(socket.gethostname() if host is None else host),
+        "acquired_at": acquired,
+        "renewed_at": now,
+        "ttl": float(ttl),
+    }
+    manifest["lease"] = lease
+    return lease
+
+
+def release_lease(manifest: Dict[str, Any], owner: str) -> bool:
+    """Drop the lease if ``owner`` holds it (mutates ``manifest``).
+
+    Returns True when the manifest changed.  Releasing a foreign or absent
+    lease is a no-op, not an error — release runs in best-effort cleanup
+    paths where the lease may already have been taken over.
+    """
+    current = manifest.get("lease")
+    if not current or current.get("owner") != owner:
+        return False
+    del manifest["lease"]
+    return True

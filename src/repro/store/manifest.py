@@ -19,12 +19,29 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import faults
 from repro.store.errors import CheckpointError, StoreFormatError
 from repro.store.series import new_series_state
 from repro.store.util import atomic_write_json
 
 #: The on-disk store format this build reads and writes.
 STORE_FORMAT = 2
+
+FAULT_COMMIT_PRE = faults.register(
+    "manifest.commit.pre_write",
+    "before the manifest temp file is written (blobs/segments on disk, "
+    "old manifest still the commit point)",
+)
+FAULT_COMMIT_PRE_RENAME = faults.register(
+    "manifest.commit.pre_rename",
+    "after the manifest temp file is fsynced, before os.replace makes it "
+    "the manifest (the instant either side of the commit point)",
+)
+FAULT_COMMIT_POST = faults.register(
+    "manifest.commit.post_commit",
+    "immediately after the manifest rename lands (commit durable, caller "
+    "has not yet observed success)",
+)
 
 MANIFEST_NAME = "MANIFEST.json"
 
@@ -60,17 +77,35 @@ def read_manifest(run_dir) -> Optional[Dict[str, Any]]:
         return None
     except (OSError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"corrupt run manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            f"corrupt run manifest {path}: expected a JSON object, "
+            f"got {type(manifest).__name__}"
+        )
     fmt = manifest.get("store_format")
     if fmt != STORE_FORMAT:
         raise StoreFormatError(
             f"run manifest {path} has store_format {fmt!r}; this build "
             f"reads format {STORE_FORMAT} (upgrade repro, or migrate the tree)"
         )
+    if not isinstance(manifest.get("snapshots"), list) or not isinstance(
+        manifest.get("series"), dict
+    ):
+        raise CheckpointError(
+            f"corrupt run manifest {path}: missing or malformed "
+            "'snapshots'/'series' sections"
+        )
     return manifest
 
 
 def write_manifest(run_dir, manifest: Dict[str, Any]) -> Path:
-    return atomic_write_json(manifest_path(run_dir), manifest)
+    faults.point(FAULT_COMMIT_PRE)
+    path = atomic_write_json(
+        manifest_path(run_dir), manifest,
+        pre_rename=lambda: faults.point(FAULT_COMMIT_PRE_RENAME),
+    )
+    faults.point(FAULT_COMMIT_POST)
+    return path
 
 
 # ----------------------------------------------------------------------

@@ -15,10 +15,22 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import faults
 from repro.store.errors import CheckpointError
 from repro.store.legacy import legacy_load, legacy_steps, step_filename
 from repro.store.manifest import read_manifest
 from repro.store.runstore import RunStore
+
+FAULT_REPLAY_MID = faults.register(
+    "migrate.replay.mid_run",
+    "between two replayed v1 snapshots of one run (manifest committed up "
+    "to the previous step; re-running the migration must finish the rest)",
+)
+FAULT_CLEANUP_PRE_UNLINK = faults.register(
+    "migrate.cleanup.pre_unlink",
+    "after a run is fully migrated, before its v1 files are removed "
+    "(stale v1 files 'repro store compact' sweeps)",
+)
 
 
 def migrate_run(store: RunStore, scenario: str, run_id: str,
@@ -45,12 +57,15 @@ def migrate_run(store: RunStore, scenario: str, run_id: str,
         for step in steps:  # ascending: each save extends the series log
             if step <= latest_v2:
                 continue
+            if report["migrated"]:
+                faults.point(FAULT_REPLAY_MID)
             checkpoint = legacy_load(directory, step)
             store.save(checkpoint, run_id=run_id)
             report["migrated"] += 1
     elif already_v2:
         report["skipped"] = True
     if remove_v1 and (report["migrated"] or already_v2):
+        faults.point(FAULT_CLEANUP_PRE_UNLINK)
         for step in steps:
             try:
                 (directory / step_filename(step)).unlink()

@@ -26,26 +26,37 @@ Reading is v1-compatible: a run directory without a manifest is served from
 the legacy per-snapshot JSON files, so resuming on a pre-migration tree
 works before ``repro store migrate`` ever runs.
 
-Concurrency model: any number of readers against one writer **per run id**.
-Same-process writers are serialised by a per-run lock; readers tolerate
-concurrent pruning (manifest re-read fallback in :meth:`latest`).  Two
-*processes* writing the same run id concurrently are outside the contract —
-the layers above already prevent it (the executor enforces unique run ids
-per batch, the daemon keeps at most one attempt of a run in flight) and the
-manifest-commit discipline self-heals the directory on the next save; a
-cross-process manifest lock is the ROADMAP's next storage step.
+Concurrency model: any number of readers against any number of writers.
+Same-process writers are serialised by a per-run ``threading.Lock``; writers
+in *different* processes are serialised by a per-run advisory file lock
+(``<run_dir>/.lock``, see :mod:`repro.store.locks`) taken around every
+manifest read-modify-commit cycle, so interleaved saves can never build a
+manifest from a stale read.  Run *ownership* is a separate, longer-lived
+concern: a store constructed with an ``owner`` identity claims a lease
+inside the manifest on every save (the heartbeat rides the atomic manifest
+rewrite) and a second owner's save raises a typed
+:class:`~repro.store.errors.RunLeaseHeld` instead of silently clobbering —
+until the lease goes stale (TTL expiry, or a provably dead owner pid on the
+same host), at which point the run becomes claimable: the missing half of
+the journal-replay resume path.  Readers take no locks and tolerate
+concurrent pruning (manifest re-read fallback in :meth:`latest`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time as _time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.store.codec import decode_state, encode_state, read_blob, write_blob
 from repro.store.errors import CheckpointError
 from repro.store.legacy import LegacyCheckpointStore, legacy_steps
+from repro.store.locks import (
+    DEFAULT_LEASE_TTL_S, RunLock, claim_lease, release_lease,
+)
 from repro.store.manifest import (
     MANIFEST_NAME, STORE_FORMAT, find_snapshot, new_manifest, read_manifest,
     snapshot_steps, upsert_snapshot, write_manifest,
@@ -55,6 +66,12 @@ from repro.store.retention import (
 )
 from repro.store.series import SEGMENT_BYTE_LIMIT, SeriesLog, new_series_state
 from repro.store.util import file_size, validate_key
+
+FAULT_RESET_POST_MANIFEST = faults.register(
+    "store.reset.post_manifest",
+    "after a run reset's empty manifest committed, before the old blobs "
+    "and segments are deleted (orphans the next compaction sweeps)",
+)
 
 #: How many manifest re-reads ``latest()`` tolerates when concurrent pruning
 #: keeps deleting the blobs it found before giving up.
@@ -80,13 +97,39 @@ class RunStore:
         applied to each run after every save.  The newest snapshot is never
         pruned; the series log is never pruned (resume needs the full
         recorded history — that is the bit-identical contract).
+    owner:
+        Lease identity for run ownership, or None (the default) to write
+        without claiming leases — existing single-writer callers keep their
+        exact behaviour.  ``owner_pid``/``owner_host`` default to this
+        process; a daemon passes its own so every worker of one daemon
+        shares the daemon's identity.
+    lease_ttl:
+        Seconds a lease stays live past its last renewal (each save renews).
+    lock_timeout:
+        Seconds to wait for the cross-process file lock before raising
+        :class:`~repro.store.errors.StoreLockTimeout`.
+    locking:
+        Escape hatch disabling the cross-process file lock (the overhead
+        benchmark's baseline); leases still work, just unguarded.
     """
 
     def __init__(self, root, retention: RetentionLike = None,
-                 segment_limit: int = SEGMENT_BYTE_LIMIT) -> None:
+                 segment_limit: int = SEGMENT_BYTE_LIMIT,
+                 owner: Optional[str] = None,
+                 owner_pid: Optional[int] = None,
+                 owner_host: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S,
+                 lock_timeout: float = 10.0,
+                 locking: bool = True) -> None:
         self.root = Path(root)
         self.retention = parse_retention(retention)
         self.segment_limit = int(segment_limit)
+        self.owner = str(owner) if owner is not None else None
+        self.owner_pid = owner_pid
+        self.owner_host = owner_host
+        self.lease_ttl = float(lease_ttl)
+        self.lock_timeout = float(lock_timeout)
+        self.locking = bool(locking)
         self._legacy = LegacyCheckpointStore(root)
         self._locks: Dict[Tuple[str, str], threading.Lock] = {}
         self._master_lock = threading.Lock()
@@ -102,6 +145,18 @@ class RunStore:
             if key not in self._locks:
                 self._locks[key] = threading.Lock()
             return self._locks[key]
+
+    def _run_lock(self, directory: Path):
+        """The cross-process lock of one run dir (no-op when disabled)."""
+        if not self.locking:
+            return contextlib.nullcontext()
+        return RunLock(directory, timeout=self.lock_timeout)
+
+    def _claim(self, manifest: Dict[str, Any]) -> None:
+        """Claim/renew this store's lease inside ``manifest`` (if owned)."""
+        if self.owner is not None:
+            claim_lease(manifest, self.owner, pid=self.owner_pid,
+                        host=self.owner_host, ttl=self.lease_ttl)
 
     # ------------------------------------------------------------------
     # Save
@@ -122,11 +177,15 @@ class RunStore:
             raise CheckpointError("checkpoint step must be >= 0")
         scenario = str(checkpoint["scenario"])
         directory = self.run_dir(scenario, run_id)
-        with self._lock(scenario, run_id):
+        with self._lock(scenario, run_id), self._run_lock(directory):
             directory.mkdir(parents=True, exist_ok=True)
             manifest = read_manifest(directory)
             if manifest is None:
                 manifest = new_manifest(scenario, run_id)
+            # Ownership check first, before any bytes move: a second live
+            # writer gets RunLeaseHeld with nothing written.  The lease
+            # (claim or heartbeat renewal) rides the manifest commit below.
+            self._claim(manifest)
             if checkpoint.get("engine") is not None:
                 manifest["engine"] = str(checkpoint["engine"])
 
@@ -234,6 +293,7 @@ class RunStore:
         manifest["series"].clear()
         manifest["series"].update(new_series_state())
         write_manifest(directory, manifest)
+        faults.point(FAULT_RESET_POST_MANIFEST)
         for path in doomed:
             try:
                 path.unlink()
@@ -403,6 +463,7 @@ class RunStore:
                 ) if steps else 0,
                 "series_frames": None,
                 "segments": None,
+                "lease": None,
             }
         return {
             "scenario": scenario,
@@ -419,7 +480,26 @@ class RunStore:
             ),
             "series_frames": int(manifest["series"]["frames"]),
             "segments": len(manifest["series"]["segments"]),
+            "lease": manifest.get("lease"),
         }
+
+    def release(self, scenario: str, run_id: str = "default") -> bool:
+        """Drop this store's lease on a run (end-of-run cleanup).
+
+        Returns True when a lease was actually released.  A store with no
+        ``owner``, a lease already taken over, or a lease-less/legacy run
+        all release nothing — silently, because release runs in best-effort
+        cleanup paths.
+        """
+        if self.owner is None:
+            return False
+        directory = self.run_dir(scenario, run_id)
+        with self._lock(scenario, run_id), self._run_lock(directory):
+            manifest = read_manifest(directory)
+            if manifest is None or not release_lease(manifest, self.owner):
+                return False
+            write_manifest(directory, manifest)
+        return True
 
     def prune(self, scenario: str, run_id: str = "default",
               retention: RetentionLike = None) -> List[int]:
@@ -429,7 +509,7 @@ class RunStore:
         if policy is None:
             return []
         directory = self.run_dir(scenario, run_id)
-        with self._lock(scenario, run_id):
+        with self._lock(scenario, run_id), self._run_lock(directory):
             manifest = read_manifest(directory)
             if manifest is None:
                 return []
@@ -452,7 +532,7 @@ class RunStore:
         report = {"scenario": scenario, "run_id": run_id,
                   "merged_segments": 0, "removed_files": 0,
                   "reclaimed_bytes": 0}
-        with self._lock(scenario, run_id):
+        with self._lock(scenario, run_id), self._run_lock(directory):
             manifest = read_manifest(directory)
             if manifest is None:
                 return report

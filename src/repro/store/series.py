@@ -31,7 +31,19 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.store.errors import CheckpointError
+
+FAULT_APPEND_MID = faults.register(
+    "series.append.mid_batch",
+    "between two frame writes of one append batch (unaccounted tail bytes "
+    "the next writer must truncate)",
+)
+FAULT_APPEND_PRE_FSYNC = faults.register(
+    "series.append.pre_fsync",
+    "after a segment's frames are written, before the segment fsync "
+    "(manifest not yet updated, so nothing references the bytes)",
+)
 
 _MAGIC = b"RSF2"
 _U32 = struct.Struct("<I")
@@ -209,6 +221,7 @@ class SeriesLog:
                     entry = segments[-1]
                     handle = self._open_segment(entry)
                 handle.write(frame)
+                faults.point(FAULT_APPEND_MID)
                 entry["bytes"] = int(entry["bytes"]) + len(frame)
                 entry["frames"] = int(entry["frames"]) + 1
                 self.state["frames"] = self.frames + 1
@@ -254,6 +267,7 @@ class SeriesLog:
     def _release(handle) -> None:
         try:
             handle.flush()
+            faults.point(FAULT_APPEND_PRE_FSYNC)
             os.fsync(handle.fileno())
         finally:
             handle.close()

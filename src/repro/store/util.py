@@ -37,8 +37,14 @@ def validate_key(name: str, what: str = "key") -> str:
     return name
 
 
-def atomic_write_bytes(path, data: bytes, suffix: str = ".bin") -> Path:
-    """Atomically persist ``data`` at ``path`` (temp file + fsync + rename)."""
+def atomic_write_bytes(path, data: bytes, suffix: str = ".bin",
+                       pre_rename=None) -> Path:
+    """Atomically persist ``data`` at ``path`` (temp file + fsync + rename).
+
+    ``pre_rename`` is an optional zero-arg callable invoked after the temp
+    file is durable but before ``os.replace`` — the hook the fault-injection
+    harness uses to crash a writer on either side of the commit point.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
@@ -49,6 +55,8 @@ def atomic_write_bytes(path, data: bytes, suffix: str = ".bin") -> Path:
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+        if pre_rename is not None:
+            pre_rename()
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -59,11 +67,45 @@ def atomic_write_bytes(path, data: bytes, suffix: str = ".bin") -> Path:
     return path
 
 
-def atomic_write_json(path, payload: Any) -> Path:
+def atomic_write_json(path, payload: Any, pre_rename=None) -> Path:
     """Atomically persist ``payload`` as JSON at ``path`` (temp + rename)."""
     return atomic_write_bytes(
-        path, json.dumps(payload).encode("utf-8"), suffix=".json"
+        path, json.dumps(payload).encode("utf-8"), suffix=".json",
+        pre_rename=pre_rename,
     )
+
+
+def exclusive_create_json(path, payload: Any) -> bool:
+    """Create ``path`` with ``payload`` only if it does not exist yet.
+
+    The durable, cross-process claim primitive: the payload is written and
+    fsynced to a temp file first, then ``os.link`` publishes it — link fails
+    atomically when the name exists, so exactly one creator wins even when
+    several processes race on the same path (the serving daemons'
+    journal-entry run-id claims), and a crash mid-write can never leave a
+    torn file under the final name.  Returns True when this call created the
+    file, False when it already existed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".tmp-{path.stem}-", suffix=".json", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(json.dumps(payload).encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(tmp_name, path)
+        except FileExistsError:
+            return False
+    finally:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+    return True
 
 
 def file_size(path) -> int:

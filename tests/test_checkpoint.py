@@ -241,7 +241,8 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path)
         store.save(self.make_checkpoint(1))
         names = sorted(os.listdir(store.run_dir("md-nve")))
-        assert names == ["MANIFEST.json", "state-00000001.npz"]
+        # .lock is the permanent advisory cross-process mutex, not a leak.
+        assert names == [".lock", "MANIFEST.json", "state-00000001.npz"]
 
     def test_legacy_format_writes_v1_files(self, tmp_path):
         # format=1 is the previous release's code path, kept for generating

@@ -104,7 +104,8 @@ def test_run_checkpoint_and_resume(tmp_path):
     )
     assert first.returncode == 0, first.stderr
     snapshots = sorted(p.name for p in (store_dir / "maxwell-vacuum" / "default").iterdir())
-    assert snapshots == ["MANIFEST.json", "series-000000.seg",
+    # .lock is the permanent advisory cross-process mutex, not a leak.
+    assert snapshots == [".lock", "MANIFEST.json", "series-000000.seg",
                          "state-00000002.npz", "state-00000004.npz"]
 
     out = tmp_path / "resumed.json"

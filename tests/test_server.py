@@ -543,3 +543,117 @@ class TestHousekeeping:
             outcome = client.wait(ack["run_id"], timeout=60)
             assert outcome.ok
             assert daemon.store.steps(spec.name, "pruned") == [4]
+
+
+# ----------------------------------------------------------------------
+# Shared state root: ownership, contested run ids, dead-owner takeover
+# ----------------------------------------------------------------------
+@needs_fork
+class TestSharedRootOwnership:
+    #: ~8 s of TDDFT stepping (same budget as the kill/resume test): long
+    #: enough that the second daemon's contested submission lands while the
+    #: first is demonstrably mid-run.
+    LONG = {"runtime.num_steps": 400, "runtime.record_every": 4}
+
+    def test_retry_after_header_reaches_the_client(self, tmp_path):
+        daemon = ScenarioServer(tmp_path / "state", port=0, workers=0,
+                                queue_size=1)
+        daemon.start()
+        try:
+            client = ServeClient(port=daemon.port, timeout=30.0, retries=0)
+            slow = default_registry().get("quickstart-tddft").with_overrides(
+                self.LONG
+            )
+            running = client.submit(slow, run_id="hog")["run_id"]
+            deadline = time.monotonic() + 30
+            while client.status(running)["status"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            client.submit(smoke_spec("maxwell-vacuum"), run_id="queued")
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(smoke_spec("maxwell-vacuum"), run_id="refused")
+            assert excinfo.value.status == 429
+            # Honest backpressure: the daemon names a wait, the client
+            # surfaces it for its backoff schedule.
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+            assert client.wait(running, timeout=120).ok
+        finally:
+            daemon.stop(drain=False)
+
+    def test_contested_run_id_answers_409_naming_the_owner(self, tmp_path):
+        root = tmp_path / "shared"
+        slow = default_registry().get("quickstart-tddft").with_overrides(
+            self.LONG
+        )
+        with serve_daemon(root, 1) as (proc_a, client_a):
+            owner_a = client_a.health()["owner"]
+            assert str(proc_a.pid) in owner_a  # serve:<host>:<pid>
+            client_a.submit(slow, run_id="contested", checkpoint_every=20)
+            with serve_daemon(root, 1) as (_proc_b, client_b):
+                # Daemon B shares the root; the run id is A's while A lives.
+                with pytest.raises(ServeError) as excinfo:
+                    client_b.submit(slow, run_id="contested")
+                assert excinfo.value.status == 409
+                assert owner_a in str(excinfo.value)
+                # B is otherwise fully operational on the shared root.
+                ok = client_b.wait(
+                    client_b.submit(smoke_spec("maxwell-vacuum"),
+                                    run_id="b-own")["run_id"],
+                    timeout=120,
+                )
+                assert ok.ok
+            assert client_a.wait("contested", timeout=300).ok
+
+    @pytest.mark.chaos
+    def test_dead_owner_is_taken_over_and_resumes_bit_identically(self, tmp_path):
+        root = tmp_path / "shared"
+        spec = default_registry().get("quickstart-tddft").with_overrides(
+            self.LONG
+        )
+        uninterrupted = BatchRunner().run([spec], raise_on_error=True)[0]
+        snapshot_dir = root / "checkpoints" / spec.name / "victim"
+
+        proc_a = _spawn_daemon(root, 1, "--lease-ttl", "2")
+        try:
+            port_a = _await_port(proc_a)
+            client_a = ServeClient(port=port_a, timeout=60.0)
+            client_a.submit(spec, run_id="victim", checkpoint_every=20)
+            with serve_daemon(root, 1, "--lease-ttl", "2") as (_proc_b, client_b):
+                # While A lives, B loses the contested submission...
+                with pytest.raises(ServeError) as excinfo:
+                    client_b.submit(spec, run_id="victim")
+                assert excinfo.value.status == 409
+                assert client_a.health()["owner"] in str(excinfo.value)
+
+                # ...A is SIGKILLed mid-run (after its first durable
+                # snapshot, so the takeover has something to resume from)...
+                deadline = time.monotonic() + 120
+                while not (snapshot_dir / "MANIFEST.json").exists():
+                    assert time.monotonic() < deadline, "no snapshot in time"
+                    time.sleep(0.02)
+                _kill_group(proc_a, signal.SIGKILL)
+                assert (root / "queue" / "victim.json").exists()
+
+                # ...and B's re-submission now claims the orphaned run (the
+                # journal owner's pid is provably dead; the manifest lease
+                # expires within --lease-ttl=2s at the latest) and finishes
+                # it bit-identically to an uninterrupted run.
+                deadline = time.monotonic() + 30
+                ack = None
+                while ack is None:
+                    try:
+                        ack = client_b.submit(spec, run_id="victim")
+                    except ServeError as exc:
+                        assert exc.status == 409
+                        assert time.monotonic() < deadline, \
+                            "takeover never happened"
+                        time.sleep(0.25)
+                assert ack["recovered"] is True
+                outcome = client_b.wait("victim", timeout=300)
+                assert outcome.ok, outcome.error
+                resumed_from = outcome.metadata["executor"]["resumed_from_step"]
+                assert resumed_from is not None and resumed_from >= 20
+                assert_results_bit_identical(uninterrupted, outcome)
+        finally:
+            _kill_group(proc_a)
