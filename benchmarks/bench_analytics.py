@@ -1,0 +1,194 @@
+"""Analytics warehouse scaling: O(series) ingest, bounded query latency.
+
+Each ingest appends one columnar chunk and rewrites the partition manifest,
+so the marginal cost of adding a run must scale with *that run's* series
+length — not with how many runs the partition already holds.  On the read
+side, predicate pushdown consults per-chunk column statistics in the
+manifest, so a selective query opens a small subset of the chunk files no
+matter how large the warehouse has grown.
+
+Two sweeps, both asserted so a regression fails the benchmark:
+
+* **ingest scaling** — runs of increasing record counts through fresh
+  partitions; per-ingest wall time must grow ~linearly in series length
+  (a super-linear trend would mean ingest re-touches history);
+* **warehouse at scale** — ≥1000 synthetic runs across several scenario
+  partitions, then full-scan, pushdown-selective, and group-aggregate
+  queries over the result; the selective query must provably *skip* most
+  chunks (counted through the pushdown hook, not timed).
+
+Writes ``results/BENCH_analytics.json`` (``--json out.json`` for a copy in
+the common schema).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from common import finish, print_table
+
+from repro.analytics import Warehouse
+
+#: Record counts for the ingest-scaling sweep.
+SERIES_LENGTHS = (50, 200, 800)
+
+#: Runs per series length in the scaling sweep (averaged).
+SCALING_RUNS = 5
+
+#: The at-scale sweep: this many synthetic runs over these partitions.
+SCALE_RUNS = 1000
+SCALE_PARTITIONS = ("scn-a", "scn-b", "scn-c", "scn-d")
+SCALE_RECORDS = 8
+
+
+def _synthetic_result(scenario: str, index: int, n: int,
+                      energy_base: float = 1.0) -> dict:
+    """One RunResult-shaped document with conserved energy and a norm."""
+    times = [0.5 * i for i in range(n)]
+    return {
+        "scenario": scenario,
+        "engine": "reference" if index % 2 == 0 else "optimized",
+        "times": times,
+        "observables": {
+            "energy": [energy_base] * n,
+            "norm": [1.0 - 1e-6 * i for i in range(n)],
+        },
+        "metadata": {"spec": {"name": scenario, "seed": index,
+                              "runtime": {"num_steps": n}}},
+    }
+
+
+def bench_ingest_scaling() -> list:
+    rows = []
+    for n in SERIES_LENGTHS:
+        root = Path(tempfile.mkdtemp(prefix="bench-analytics-scale-"))
+        try:
+            warehouse = Warehouse(root)
+            elapsed = []
+            for i in range(SCALING_RUNS):
+                document = _synthetic_result("scaling", i, n)
+                t0 = time.perf_counter()
+                warehouse.ingest_result(document, run_id=f"r{i}")
+                elapsed.append(time.perf_counter() - t0)
+            rows.append({
+                "records": n,
+                "mean_ingest_ms": 1e3 * sum(elapsed) / len(elapsed),
+                "max_ingest_ms": 1e3 * max(elapsed),
+            })
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+def bench_warehouse_at_scale(root: Path) -> dict:
+    warehouse = Warehouse(root)
+    per_partition = SCALE_RUNS // len(SCALE_PARTITIONS)
+    t0 = time.perf_counter()
+    for partition in SCALE_PARTITIONS:
+        for i in range(per_partition):
+            # Exactly one "hot" run per partition carries an outlier energy:
+            # the selectivity the pushdown sweep below relies on.
+            base = 1000.0 if i == per_partition - 1 else 1.0
+            warehouse.ingest_result(
+                _synthetic_result(partition, i, SCALE_RECORDS,
+                                  energy_base=base),
+                run_id=f"r{i:04d}",
+            )
+    ingest_s = time.perf_counter() - t0
+    total_runs = per_partition * len(SCALE_PARTITIONS)
+
+    target = SCALE_PARTITIONS[0]
+
+    t0 = time.perf_counter()
+    full_count = warehouse.query(target).count()
+    full_scan_ms = 1e3 * (time.perf_counter() - t0)
+    assert full_count == per_partition * SCALE_RECORDS
+
+    # Selective query, with the pushdown hook instrumented: count how many
+    # chunks survive the manifest-stats filter (deterministic, not timed).
+    opened = []
+    original = warehouse.load_table
+
+    def counting(partition, table, chunk_filter=None):
+        def spy(entry):
+            keep = chunk_filter(entry) if chunk_filter else True
+            if keep:
+                opened.append(entry["file"])
+            return keep
+        return original(partition, table, chunk_filter=spy)
+
+    warehouse.load_table = counting
+    t0 = time.perf_counter()
+    hot = warehouse.query(target).where("energy", ">", 500.0).rows()
+    selective_ms = 1e3 * (time.perf_counter() - t0)
+    warehouse.load_table = original
+    assert len(hot) == SCALE_RECORDS  # exactly the one hot run's records
+    total_chunks = per_partition  # one chunk per ingested run
+
+    t0 = time.perf_counter()
+    grouped = warehouse.query(target, table="runs").aggregate(
+        ["engine"], [("count", "run_id"), ("mean", "obs.energy.mean")],
+    )
+    aggregate_ms = 1e3 * (time.perf_counter() - t0)
+    assert sorted(grouped.column("engine").tolist()) == \
+        ["optimized", "reference"]
+
+    return {
+        "runs": total_runs,
+        "ingest_s": ingest_s,
+        "ingest_runs_per_s": total_runs / ingest_s,
+        "full_scan_ms": full_scan_ms,
+        "selective_ms": selective_ms,
+        "aggregate_ms": aggregate_ms,
+        "chunks_total": total_chunks,
+        "chunks_opened": len(opened),
+        "pushdown_skip_fraction": 1.0 - len(opened) / total_chunks,
+    }
+
+
+def main() -> None:
+    scaling = bench_ingest_scaling()
+    print_table(
+        "Per-ingest cost vs series length (fresh partitions)",
+        ["records", "mean_ingest_ms", "max_ingest_ms"],
+        scaling,
+    )
+    short, long = scaling[0], scaling[-1]
+    length_ratio = long["records"] / short["records"]
+    cost_ratio = long["mean_ingest_ms"] / max(1e-9, short["mean_ingest_ms"])
+    print(f"\ningest cost growth over a {length_ratio:.0f}x longer series: "
+          f"{cost_ratio:.1f}x")
+    # O(series): the cost ratio tracks the length ratio, with generous slack
+    # for the constant per-ingest overhead (lock + manifest rewrite).
+    assert cost_ratio < 3.0 * length_ratio, \
+        "per-ingest cost must stay ~linear in series length"
+
+    root = Path(tempfile.mkdtemp(prefix="bench-analytics-big-"))
+    try:
+        scale = bench_warehouse_at_scale(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    print(f"{scale['runs']} runs ingested in {scale['ingest_s']:.2f}s "
+          f"({scale['ingest_runs_per_s']:.0f} runs/s)")
+    print(f"queries over one {scale['chunks_total']}-chunk partition: "
+          f"full scan {scale['full_scan_ms']:.1f} ms, "
+          f"selective {scale['selective_ms']:.1f} ms "
+          f"(opened {scale['chunks_opened']}/{scale['chunks_total']} chunks), "
+          f"group-aggregate {scale['aggregate_ms']:.1f} ms")
+    # The pushdown must prove most chunks irrelevant for the selective query.
+    assert scale["pushdown_skip_fraction"] > 0.9, \
+        "selective query should skip >90% of chunks via manifest stats"
+
+    finish("BENCH_analytics", {
+        "ingest_scaling": scaling,
+        "ingest_cost_growth": {"length_ratio": length_ratio,
+                               "cost_ratio": cost_ratio},
+        "at_scale": scale,
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -25,6 +26,12 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Version tag of the common benchmark-artefact schema.
 BENCH_SCHEMA = "repro-bench/1"
+
+#: Append-only invocation history: one timestamped schema document per
+#: :func:`finish` call.  ``results/<name>.json`` keeps only the latest run;
+#: the history is what lets ``repro analytics bench`` plot a metric's
+#: trajectory across invocations.
+HISTORY_PATH = RESULTS_DIR / "history.ndjson"
 
 
 def write_result(name: str, payload) -> Path:
@@ -57,12 +64,17 @@ def parse_bench_args(argv: Optional[Sequence[str]] = None,
 def finish(name: str, payload, argv: Optional[Sequence[str]] = None) -> Path:
     """Emit one benchmark's artefact in the common schema.
 
-    Writes ``results/<name>.json`` always, honours ``--json out.json`` from
-    the command line (``argv`` overrides ``sys.argv`` for tests), and
-    returns the results-dir path.
+    Writes ``results/<name>.json`` always, appends one timestamped line to
+    ``results/history.ndjson`` (the cross-invocation trajectory the
+    analytics warehouse ingests), honours ``--json out.json`` from the
+    command line (``argv`` overrides ``sys.argv`` for tests), and returns
+    the results-dir path.
     """
     document = {"schema": BENCH_SCHEMA, "bench": name, "payload": payload}
     path = write_result(name, document)
+    with open(HISTORY_PATH, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({**document, "ts": time.time()},
+                                default=float) + "\n")
     print(f"\nwrote {path}")
     args = parse_bench_args(sys.argv[1:] if argv is None else argv)
     if args.json_path == "-":

@@ -66,6 +66,7 @@ __version__ = _detect_version()
 
 _SUBPACKAGES = (
     "analysis",
+    "analytics",
     "api",
     "core",
     "dc",

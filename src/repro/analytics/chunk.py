@@ -1,0 +1,135 @@
+"""Columnar chunk blocks: one npz file per ingest batch.
+
+A chunk holds one or more tables (``runs``/``series`` for scenario
+partitions, ``bench`` for the bench partition) as npz entries keyed
+``<table>:<column>``.  Chunks are immutable once committed — the partition
+manifest (see :mod:`repro.analytics.warehouse`) is the only thing that ever
+changes after the fact — and are written through the store's atomic temp +
+fsync + rename discipline, so a torn chunk can never sit under a committed
+name.
+
+Every chunk also carries per-column **statistics** in the manifest (numeric
+min/max, small distinct-value sets for strings): the query layer's predicate
+pushdown consults them to skip whole chunks without opening the npz.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro import faults
+from repro.analytics.columns import Table
+from repro.store.util import atomic_write_bytes
+
+FAULT_CHUNK_PRE_WRITE = faults.register(
+    "analytics.chunk.pre_write",
+    "before a chunk's npz temp file is written (nothing on disk yet; the "
+    "manifest still describes only committed chunks)",
+)
+
+#: How many distinct values a string column may have before its chunk stats
+#: stop enumerating them (pushdown then keeps the chunk).
+_MAX_DISTINCT = 32
+
+
+def write_chunk(path, tables: Mapping[str, Table],
+                pre_rename=None) -> Path:
+    """Atomically persist ``tables`` as one npz chunk at ``path``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for table_name, table in tables.items():
+        for column, values in table.columns.items():
+            arrays[f"{table_name}:{column}"] = values
+    faults.point(FAULT_CHUNK_PRE_WRITE)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue(), suffix=".npz",
+                              pre_rename=pre_rename)
+
+
+def read_chunk(path, table: Optional[str] = None,
+               ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Decode a chunk back into ``{table: {column: array}}``.
+
+    ``table`` restricts decoding to one table's columns.  Loading never
+    unpickles (``allow_pickle=False``): chunks contain only numeric and
+    unicode arrays by construction.
+    """
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    with np.load(path, allow_pickle=False) as payload:
+        for key in payload.files:
+            table_name, _, column = key.partition(":")
+            if not column:
+                continue  # not a chunk entry this layout wrote
+            if table is not None and table_name != table:
+                continue
+            out.setdefault(table_name, {})[column] = payload[key]
+    return out
+
+
+def column_stats(table: Table) -> Dict[str, Dict[str, Any]]:
+    """Pushdown statistics of every column of one table.
+
+    Numeric columns record finite min/max (``None`` when all-NaN); string
+    columns record their distinct values when few, else nothing.
+    """
+    stats: Dict[str, Dict[str, Any]] = {}
+    for name, col in table.columns.items():
+        if col.dtype.kind in "US":
+            distinct = sorted(set(col.tolist()))
+            entry: Dict[str, Any] = {"kind": "text"}
+            if len(distinct) <= _MAX_DISTINCT:
+                entry["values"] = distinct
+        else:
+            finite = col[np.isfinite(col)]
+            # Explicit nulls for an all-NaN column: pushdown must be able to
+            # tell "no finite values exist" (prunable for ordered ops) from
+            # "no stats recorded" (must stay permissive).
+            entry = {"kind": "number", "min": None, "max": None}
+            if finite.size:
+                entry["min"] = float(finite.min())
+                entry["max"] = float(finite.max())
+        stats[name] = entry
+    return stats
+
+
+def stats_may_match(stats: Optional[Mapping[str, Any]], op: str,
+                    value: Any) -> bool:
+    """Can any row of a chunk satisfy ``column <op> value``, judging only by
+    the chunk's column stats?  ``True`` when unsure — pushdown may only skip
+    chunks it can *prove* irrelevant."""
+    if stats is None:
+        return True
+    if stats.get("kind") == "text":
+        values = stats.get("values")
+        if values is None or not isinstance(value, (str, list, tuple, set)):
+            return True
+        if op == "==":
+            return str(value) in values
+        if op == "in":
+            return any(str(v) in values for v in value)
+        return True
+    lo, hi = stats.get("min"), stats.get("max")
+    if lo is None or hi is None:
+        # Explicit nulls mean an all-NaN column: ordered comparison and
+        # equality can never hold (``!=`` still can — NaN differs from
+        # everything).  Absent keys (older manifests) stay permissive.
+        if "min" in stats and op in ("==", "in", "<", "<=", ">", ">="):
+            return False
+        return True
+    try:
+        value = float(value) if op != "in" else [float(v) for v in value]
+    except (TypeError, ValueError):
+        return True
+    if op == "==":
+        return lo <= value <= hi
+    if op == "in":
+        return any(lo <= v <= hi for v in value)
+    if op in ("<", "<="):
+        return lo < value or (op == "<=" and lo <= value)
+    if op in (">", ">="):
+        return hi > value or (op == ">=" and hi >= value)
+    return True  # "!=" and anything unrecognised

@@ -1,0 +1,239 @@
+"""Implementation of the ``repro analytics`` CLI subcommands.
+
+Argument wiring lives in :mod:`repro.api.cli` (the one front door); the
+behaviour lives here with the subsystem it operates on.
+
+Subcommands::
+
+    repro analytics ingest WAREHOUSE PATH...        backfill results/benches
+    repro analytics summary WAREHOUSE               per-partition inventory
+    repro analytics query WAREHOUSE PARTITION ...   filter/project/aggregate
+    repro analytics regress WAREHOUSE SCENARIO ...  the CI regression gate
+    repro analytics bench WAREHOUSE [--bench B]     repro-bench trajectories
+    repro analytics dashboard ROOT [--analytics W]  stats snapshot
+
+Exit codes follow the repo convention (:mod:`repro.utils.cliutil`): 0 on
+success, **1 when ``regress`` finds violations** (the gate), 2 on usage or
+state errors.  ``dashboard`` reads a live daemon's ``/v1/stats`` when given
+``--url``, else scans the root offline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analytics.ingest import backfill
+from repro.analytics.query import parse_predicate
+from repro.analytics.regress import bench_trajectory, cohort_violations, \
+    conservation_violations
+from repro.analytics.stats import render_dashboard, store_stats, \
+    warehouse_stats
+from repro.analytics.warehouse import AnalyticsError, Warehouse
+from repro.utils.cliutil import subcommand_errors
+
+#: Analytics faults become one-line stderr diagnostics and exit 2 — the same
+#: error path the store CLI uses (repro.utils.cliutil).
+_analytics_errors = subcommand_errors(AnalyticsError, ValueError, KeyError)
+
+
+@_analytics_errors
+def cmd_ingest(warehouse_root, paths: Sequence[str],
+               sweep: bool = False, as_json: bool = False) -> int:
+    warehouse = Warehouse(warehouse_root)
+    report = backfill(warehouse, paths)
+    if sweep:
+        report["sweep"] = warehouse.sweep()
+    if as_json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"scanned {report['files']} file(s): "
+          f"{report['ingested']} ingested, {report['skipped']} skipped, "
+          f"{report['failures']} failed run(s), "
+          f"{report['unknown']} unrecognised document(s)")
+    for source_error in report["errors"]:
+        print(f"  error at {source_error['source']}: "
+              f"{source_error['error']}")
+    if sweep and report["sweep"]["removed"]:
+        print(f"  swept {len(report['sweep']['removed'])} orphan chunk(s)")
+    return 0
+
+
+@_analytics_errors
+def cmd_summary(warehouse_root, as_json: bool = False) -> int:
+    warehouse = Warehouse(warehouse_root)
+    rows = warehouse.describe()
+    if as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print(f"no partitions under {warehouse.root}")
+        return 0
+    width = max(len(r["partition"]) for r in rows)
+    print(f"{len(rows)} partition(s) under {warehouse.root}:")
+    for row in rows:
+        tables = ", ".join(f"{name}={count}"
+                           for name, count in sorted(row["rows"].items()))
+        print(f"  {row['partition']:<{width}}  {row['runs']:>5} runs  "
+              f"{row['chunks']:>4} chunks  rows: {tables}")
+    return 0
+
+
+@_analytics_errors
+def cmd_query(warehouse_root, partition: str, table: Optional[str] = None,
+              where: Sequence[str] = (), select: Sequence[str] = (),
+              group_by: Sequence[str] = (), aggregates: Sequence[str] = (),
+              limit: Optional[int] = None, as_json: bool = False) -> int:
+    warehouse = Warehouse(warehouse_root)
+    query = warehouse.query(partition, table=table)
+    for token in where:
+        query = query.where(*parse_predicate(token))
+    parsed_aggs: List[Tuple[str, str]] = []
+    for token in aggregates:
+        fn, _, column = token.partition(":")
+        if not column:
+            raise ValueError(
+                f"cannot parse aggregate {token!r}: expected fn:column "
+                "(e.g. mean:obs.energy.mean)"
+            )
+        parsed_aggs.append((fn.strip(), column.strip()))
+    if parsed_aggs:
+        if select:
+            raise ValueError("--select and --agg are mutually exclusive "
+                             "(aggregates name their own output columns)")
+        result = query.aggregate(list(group_by), parsed_aggs)
+    else:
+        if group_by:
+            raise ValueError("--group-by needs at least one --agg fn:column")
+        if select:
+            query = query.select(*select)
+        result = query.table()
+    if limit is not None and result.num_rows > limit:
+        import numpy as np
+
+        keep = np.zeros(result.num_rows, dtype=bool)
+        keep[:limit] = True
+        result = result.mask(keep)
+    if as_json:
+        print(result.to_json())
+        return 0
+    rows = result.to_rows()
+    if not rows:
+        print("0 rows")
+        return 0
+    names = result.column_names
+    widths = {
+        name: max(len(name), *(len(_cell(r[name])) for r in rows))
+        for name in names
+    }
+    print("  ".join(name.ljust(widths[name]) for name in names))
+    for row in rows:
+        print("  ".join(_cell(row[name]).ljust(widths[name])
+                        for name in names))
+    print(f"{len(rows)} row(s)")
+    return 0
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+@_analytics_errors
+def cmd_regress(warehouse_root, scenario: str,
+                series: Sequence[str] = (), tier: str = "standard",
+                cohort: Sequence[str] = (), as_json: bool = False) -> int:
+    """The CI gate: exit 1 when any conservation/cohort violation exists."""
+    warehouse = Warehouse(warehouse_root)
+    violations = []
+    for name in series:
+        violations.extend(
+            conservation_violations(warehouse, scenario, name, tier=tier)
+        )
+    for column in cohort:
+        violations.extend(
+            cohort_violations(warehouse, scenario, column, tier=tier)
+        )
+    if not series and not cohort:
+        raise ValueError(
+            "regress needs at least one --series (conservation check) "
+            "or --cohort (cohort-median check) column"
+        )
+    if as_json:
+        print(json.dumps({"scenario": scenario, "tier": tier,
+                          "violations": violations}, indent=2))
+    elif not violations:
+        checked = ", ".join([*series, *cohort])
+        print(f"ok: {scenario} passed {tier!r}-tier regression checks "
+              f"({checked})")
+    else:
+        print(f"REGRESSION: {len(violations)} violation(s) in {scenario} "
+              f"at tier {tier!r}:")
+        for violation in violations:
+            if "series" in violation:
+                print(f"  run {violation['run_id']}: "
+                      f"{violation['series']} drifted "
+                      f"{violation['worst_drift']:.3e} "
+                      f"(allowed {violation['allowed']:.3e}) "
+                      f"at t={violation['worst_t']:g} "
+                      f"[{violation['violating_records']}"
+                      f"/{violation['records']} records]")
+            else:
+                print(f"  run {violation['run_id']}: "
+                      f"{violation['column']} = {violation['value']:.6g} "
+                      f"vs cohort median {violation['median']:.6g} "
+                      f"(allowed deviation {violation['allowed']:.3e}, "
+                      f"cohort of {violation['cohort_size']})")
+    return 1 if violations else 0
+
+
+@_analytics_errors
+def cmd_bench(warehouse_root, bench: Optional[str] = None,
+              metric: Optional[str] = None, as_json: bool = False) -> int:
+    warehouse = Warehouse(warehouse_root)
+    trajectories = bench_trajectory(warehouse, bench=bench, metric=metric)
+    if as_json:
+        print(json.dumps(trajectories, indent=2))
+        return 0
+    if not trajectories:
+        print("no bench documents ingested "
+              "(repro analytics ingest WAREHOUSE benchmarks/results)")
+        return 0
+    for row in trajectories:
+        print(f"{row['bench']} :: {row['metric']} "
+              f"({row['samples']} sample(s))")
+        print(f"  latest {row['latest']:.6g}   best {row['best']:.6g}   "
+              f"worst {row['worst']:.6g}")
+        tail = row["values"][-8:]
+        print("  trail  " + "  ".join(f"{v:.4g}" for v in tail))
+    return 0
+
+
+@_analytics_errors
+def cmd_dashboard(serve_root=None, warehouse_root=None,
+                  host: Optional[str] = None, port: Optional[int] = None,
+                  timeout: float = 10.0, as_json: bool = False) -> int:
+    stats = {}
+    if host is not None:
+        from repro.api.client import ServeClient
+
+        client = ServeClient(
+            host=host, **({} if port is None else {"port": port}),
+            timeout=timeout,
+        )
+        stats = client.stats()
+    elif serve_root is not None:
+        stats = {"store": store_stats(serve_root)}
+    if warehouse_root is not None and "analytics" not in stats:
+        stats["analytics"] = warehouse_stats(Warehouse(warehouse_root))
+    if not stats:
+        raise ValueError(
+            "dashboard needs a serve root, --live (query a daemon), or "
+            "--warehouse"
+        )
+    if as_json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(render_dashboard(stats))
+    return 0

@@ -1,0 +1,206 @@
+"""Column primitives of the warehouse: flattening and the :class:`Table`.
+
+The warehouse stores everything as named columns of equal length.  Two kinds
+exist:
+
+* **numeric** columns — float64 arrays.  Every numeric leaf (int, float,
+  bool) of a flattened document lands here; ints survive exactly up to 2**53,
+  far beyond any spec parameter.
+* **string** columns — numpy unicode arrays.  Strings stay verbatim; any
+  other non-numeric leaf (a list, a null) is stored as its canonical JSON
+  text, so values remain comparable and round-trippable.
+
+:func:`flatten` turns a nested JSON-able mapping into a flat
+``{dotted.path: leaf}`` dict — the shape both the ``runs`` table (flattened
+:class:`~repro.api.spec.ScenarioSpec` parameters) and the bench table
+(flattened ``repro-bench/1`` payloads) are built from.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Marker value for a numeric cell absent from a chunk (a run ingested
+#: without that observable/parameter).
+MISSING_NUMBER = float("nan")
+
+#: Marker value for an absent string cell.
+MISSING_TEXT = ""
+
+
+def is_numeric(value: Any) -> bool:
+    """True for leaves that belong in a float64 column (bool included)."""
+    return isinstance(value, (bool, int, float, np.bool_, np.integer,
+                              np.floating))
+
+
+def encode_leaf(value: Any) -> Any:
+    """Coerce one flattened leaf to its column representation.
+
+    Numbers (and bools) become floats; strings stay; everything else —
+    lists, nulls, nested leftovers — becomes canonical JSON text, so a
+    re-ingested document always produces the identical cell.
+    """
+    if is_numeric(value):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True)
+
+
+def flatten(mapping: Mapping[str, Any], prefix: str = "",
+            max_depth: int = 8) -> Dict[str, Any]:
+    """Flatten a nested mapping into dotted-path leaves (pre-encode form).
+
+    Dicts recurse (``{"runtime": {"num_steps": 5}}`` → ``runtime.num_steps``);
+    everything else — including lists — is a leaf.  Lists stay leaves rather
+    than exploding into per-index columns because spec sequences (ion
+    centers, polarization) are identity-like values: queries filter on them
+    as a whole, not on components.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in mapping.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, Mapping) and max_depth > 0:
+            out.update(flatten(value, prefix=f"{path}.",
+                               max_depth=max_depth - 1))
+        else:
+            out[path] = value
+    return out
+
+
+def numeric_leaves(mapping: Mapping[str, Any], prefix: str = "",
+                   ) -> Dict[str, float]:
+    """Flatten, keeping only numeric leaves (the bench-payload table shape)."""
+    return {
+        key: float(value)
+        for key, value in flatten(mapping, prefix=prefix).items()
+        if is_numeric(value)
+    }
+
+
+class Table:
+    """An ordered set of equally-long named columns.
+
+    The in-memory currency of the warehouse: chunks decode to tables, query
+    results are tables, aggregations return tables.  Columns are float64
+    (numeric) or unicode (string) numpy arrays.
+    """
+
+    def __init__(self, columns: Optional[Mapping[str, Any]] = None) -> None:
+        self.columns: Dict[str, np.ndarray] = {}
+        rows: Optional[int] = None
+        for name, values in (columns or {}).items():
+            array = as_column(values)
+            if rows is None:
+                rows = array.shape[0]
+            elif array.shape[0] != rows:
+                raise ValueError(
+                    f"column {name!r} has {array.shape[0]} rows, "
+                    f"expected {rows}"
+                )
+            self.columns[str(name)] = array
+        self._rows = rows or 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise KeyError(
+                f"unknown column {name!r} (known: {sorted(self.columns)})"
+            )
+        return self.columns[name]
+
+    def select(self, names: Sequence[str]) -> "Table":
+        return Table({name: self.column(name) for name in names})
+
+    def mask(self, keep: np.ndarray) -> "Table":
+        return Table({name: col[keep] for name, col in self.columns.items()})
+
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Row dicts with native Python values (floats/strs)."""
+        out = []
+        for i in range(self._rows):
+            row: Dict[str, Any] = {}
+            for name, col in self.columns.items():
+                value = col[i]
+                row[name] = value.item() if isinstance(value, np.generic) \
+                    else value
+            out.append(row)
+        return out
+
+    def to_dict(self) -> Dict[str, List[Any]]:
+        return {name: col.tolist() for name, col in self.columns.items()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {"rows": self._rows, "columns": self.to_dict()}, indent=indent,
+            allow_nan=True, default=float,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self._rows} rows x {len(self.columns)} columns)"
+
+
+def as_column(values: Any) -> np.ndarray:
+    """Coerce a sequence of cells into a 1-D float64 or unicode column."""
+    if isinstance(values, np.ndarray) and values.ndim == 1:
+        if values.dtype.kind in "fiub":
+            return np.asarray(values, dtype=float)
+        if values.dtype.kind in "US":
+            return np.asarray(values, dtype=str)
+    values = list(values)
+    if all(is_numeric(v) for v in values):
+        return np.asarray(values, dtype=float)
+    return np.asarray([str(v) for v in values], dtype=str)
+
+
+def concat_columns(chunks: Iterable[Mapping[str, np.ndarray]],
+                   missing_ok: bool = True) -> Table:
+    """Concatenate per-chunk column dicts into one table.
+
+    Chunks may disagree on the column set (a run ingested before a new
+    observable existed): missing numeric cells become NaN, missing string
+    cells the empty string.  When one column is numeric in one chunk and
+    string in another, everything is promoted to string — comparisons stay
+    well-defined even across a schema change.
+    """
+    chunks = [dict(chunk) for chunk in chunks]
+    if not chunks:
+        return Table()
+    names: List[str] = []
+    for chunk in chunks:
+        for name in chunk:
+            if name not in names:
+                names.append(name)
+    merged: Dict[str, np.ndarray] = {}
+    for name in names:
+        present = [chunk[name] for chunk in chunks if name in chunk]
+        if not missing_ok and len(present) != len(chunks):
+            raise KeyError(f"column {name!r} is missing from some chunks")
+        text = any(col.dtype.kind in "US" for col in present)
+        parts = []
+        for chunk in chunks:
+            rows = len(next(iter(chunk.values()))) if chunk else 0
+            if name in chunk:
+                col = chunk[name]
+                if text and col.dtype.kind not in "US":
+                    col = col.astype(str)
+                parts.append(col)
+            else:
+                filler = np.full(rows, MISSING_TEXT, dtype=str) if text \
+                    else np.full(rows, MISSING_NUMBER, dtype=float)
+                parts.append(filler)
+        merged[name] = np.concatenate(parts) if parts else np.empty(0)
+    return Table(merged)

@@ -1,0 +1,173 @@
+"""Backfill ingestion: scan existing result files into the warehouse.
+
+The daemon ingests results as they finish (the post-run hook in
+:mod:`repro.api.server`); this module covers everything that already exists
+on disk — ``repro serve`` result directories, loose ``RunResult`` JSON
+dumps, batch outcome arrays, and ``benchmarks/**/*.json`` / ``.ndjson``
+``repro-bench/1`` documents.  :func:`classify` recognises each shape;
+:func:`backfill` walks paths and ingests every recognisable document.
+
+Because warehouse ingestion is idempotent on (scenario, run id) — and on a
+content-hash ``doc_id`` for bench documents — backfill can be re-run over
+the same tree any number of times: re-runs report skips, never duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.analytics.warehouse import AnalyticsError, Warehouse
+
+#: Document shapes :func:`classify` can name.
+KIND_RESULT = "result"          # a bare RunResult dict
+KIND_OUTCOME = "outcome"        # a serve/CLI wrapper: {"ok": ...}/{"failure"}
+KIND_BENCH = "bench"            # a repro-bench/1 document
+KIND_FAILURE = "failure"        # an outcome that carries no result
+KIND_UNKNOWN = "unknown"
+
+
+def content_id(document: Mapping[str, Any]) -> str:
+    """Stable content hash of one JSON document (the fallback run/doc id)."""
+    canon = json.dumps(document, sort_keys=True, default=str)
+    return "sha-" + hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+
+def classify(document: Any) -> str:
+    """Name the shape of one decoded JSON document."""
+    if not isinstance(document, Mapping):
+        return KIND_UNKNOWN
+    if document.get("schema") == "repro-bench/1":
+        return KIND_BENCH
+    if "ok" in document or "failure" in document:
+        inner = document.get("ok")
+        if isinstance(inner, Mapping) and "times" in inner:
+            return KIND_OUTCOME
+        return KIND_FAILURE
+    if "times" in document and "observables" in document \
+            and "scenario" in document:
+        return KIND_RESULT
+    return KIND_UNKNOWN
+
+
+def derive_run_id(document: Mapping[str, Any],
+                  wrapper: Optional[Mapping[str, Any]] = None,
+                  ) -> str:
+    """Best run id for a result document.
+
+    Priority: the serve wrapper's top-level ``run_id``, then the executor
+    stamp in ``metadata.executor.run_id``, then a content hash — so files
+    that went through the daemon keep their canonical id and idempotency
+    holds across journal replays, while hand-rolled dumps still dedupe on
+    content.
+    """
+    if wrapper is not None and wrapper.get("run_id"):
+        return str(wrapper["run_id"])
+    executor = dict(document.get("metadata", {})).get("executor") or {}
+    if executor.get("run_id"):
+        return str(executor["run_id"])
+    return content_id(document)
+
+
+def _iter_documents(path: Path) -> Iterable[Tuple[Any, str]]:
+    """Decode one file into (document, source-label) pairs.
+
+    ``.ndjson`` files yield one document per line; ``.json`` files yield the
+    top-level value, or each element when it is an array (batch outcomes).
+    Undecodable files/lines are skipped silently — backfill walks trees that
+    legitimately hold non-document JSON.
+    """
+    label = str(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return
+    if path.suffix == ".ndjson":
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line), f"{label}:{lineno}"
+            except json.JSONDecodeError:
+                continue
+        return
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        return
+    if isinstance(document, list):
+        for index, element in enumerate(document):
+            yield element, f"{label}[{index}]"
+    else:
+        yield document, label
+
+
+def iter_files(paths: Iterable[Any]) -> List[Path]:
+    """Expand files/directories into a sorted list of candidate files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.json")
+                              if p.is_file()))
+            out.extend(sorted(p for p in path.rglob("*.ndjson")
+                              if p.is_file()))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise AnalyticsError(f"no such file or directory: {path}")
+    return out
+
+
+def backfill(warehouse: Warehouse, paths: Iterable[Any],
+             ingested_at: Optional[float] = None) -> Dict[str, Any]:
+    """Scan ``paths`` and ingest every recognisable document.
+
+    Returns a report: counts per outcome plus the list of ingested
+    (partition, id) pairs.  Idempotent — see module docstring.
+    """
+    report: Dict[str, Any] = {
+        "files": 0, "ingested": 0, "skipped": 0, "failures": 0,
+        "unknown": 0, "errors": [], "runs": [],
+    }
+    for path in iter_files(paths):
+        report["files"] += 1
+        for document, source in _iter_documents(path):
+            kind = classify(document)
+            if kind == KIND_UNKNOWN:
+                report["unknown"] += 1
+                continue
+            if kind == KIND_FAILURE:
+                # Failed runs carry no series; they are counted, not stored.
+                report["failures"] += 1
+                continue
+            try:
+                if kind == KIND_BENCH:
+                    outcome = warehouse.ingest_bench(
+                        document, doc_id=content_id(document),
+                        source=source, ts=document.get("ts"),
+                    )
+                    tag = (outcome["partition"], outcome["doc_id"])
+                else:
+                    wrapper = None
+                    result = document
+                    if kind == KIND_OUTCOME:
+                        wrapper, result = document, document["ok"]
+                    outcome = warehouse.ingest_result(
+                        result, run_id=derive_run_id(result, wrapper),
+                        ingested_at=ingested_at,
+                    )
+                    tag = (outcome["partition"], outcome["run_id"])
+            except AnalyticsError as exc:
+                report["errors"].append({"source": source,
+                                         "error": str(exc)})
+                continue
+            if outcome["ingested"]:
+                report["ingested"] += 1
+                report["runs"].append(list(tag))
+            else:
+                report["skipped"] += 1
+    return report

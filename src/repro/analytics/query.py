@@ -1,0 +1,206 @@
+"""Filter / project / group-aggregate over warehouse partitions.
+
+A :class:`Query` is a small immutable-ish builder bound to one partition
+table.  Predicates added with :meth:`Query.where` are applied twice: once
+against the partition manifest's per-chunk column statistics (**predicate
+pushdown** — chunks provably irrelevant are never opened) and once row-wise
+against the decoded columns.  Aggregation groups on string or numeric key
+columns and reduces with the named functions in :data:`AGGREGATES`.
+
+The same engine backs the Python API (``Warehouse.query(...)``) and the
+``repro analytics query`` CLI; the CLI merely parses ``column<op>value``
+tokens into :meth:`where` calls.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple
+
+import numpy as np
+
+from repro.analytics.chunk import stats_may_match
+from repro.analytics.columns import Table
+
+#: Named reduction functions available to :meth:`Query.aggregate` and the
+#: ``repro analytics query --agg fn:column`` CLI.
+AGGREGATES: Dict[str, Callable[[np.ndarray], float]] = {
+    "count": lambda col: float(col.shape[0]),
+    "sum": lambda col: float(np.nansum(_as_float(col))),
+    "mean": lambda col: _nan_guard(np.nanmean, _as_float(col)),
+    "min": lambda col: _nan_guard(np.nanmin, _as_float(col)),
+    "max": lambda col: _nan_guard(np.nanmax, _as_float(col)),
+    "std": lambda col: _nan_guard(np.nanstd, _as_float(col)),
+    "first": lambda col: _edge(col, 0),
+    "last": lambda col: _edge(col, -1),
+}
+
+_OPS: Dict[str, Callable[[np.ndarray, Any], np.ndarray]] = {
+    "==": lambda col, v: col == v,
+    "!=": lambda col, v: col != v,
+    "<": lambda col, v: col < v,
+    "<=": lambda col, v: col <= v,
+    ">": lambda col, v: col > v,
+    ">=": lambda col, v: col >= v,
+    "in": lambda col, v: np.isin(col, list(v)),
+}
+
+#: CLI predicate syntax: ``column<op>value`` with the two-char ops first so
+#: ``<=`` never parses as ``<`` against ``=value``.
+_PREDICATE_RE = re.compile(r"^\s*([A-Za-z0-9._-]+)\s*(==|!=|<=|>=|<|>)\s*(.+)$")
+
+
+def _as_float(col: np.ndarray) -> np.ndarray:
+    if col.dtype.kind in "US":
+        raise ValueError(
+            "numeric aggregate over a string column — project it or use "
+            "count/first/last"
+        )
+    return col
+
+
+def _nan_guard(fn, col: np.ndarray) -> float:
+    finite = col[np.isfinite(col)]
+    return float(fn(finite)) if finite.size else float("nan")
+
+
+def _edge(col: np.ndarray, index: int) -> Any:
+    if not col.shape[0]:
+        return float("nan")
+    value = col[index]
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def parse_predicate(token: str) -> Tuple[str, str, Any]:
+    """Parse one CLI ``column<op>value`` token into a where() triple.
+
+    Values that read as numbers become floats; everything else stays text.
+    ``engine==reference`` and ``obs.energy.mean<=1e-3`` both parse.
+    """
+    match = _PREDICATE_RE.match(token)
+    if not match:
+        raise ValueError(
+            f"cannot parse predicate {token!r}: expected column<op>value "
+            "with op one of == != < <= > >="
+        )
+    column, op, raw = match.groups()
+    raw = raw.strip()
+    try:
+        value: Any = float(raw)
+    except ValueError:
+        value = raw
+    return column, op, value
+
+
+class Query:
+    """A lazy filter/project/aggregate pipeline over one partition table."""
+
+    def __init__(self, warehouse, partition: str, table: str) -> None:
+        self._warehouse = warehouse
+        self._partition = partition
+        self._table = table
+        self._predicates: List[Tuple[str, str, Any]] = []
+        self._projection: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def where(self, column: str, op: str, value: Any) -> "Query":
+        if op not in _OPS:
+            raise ValueError(
+                f"unknown operator {op!r} (known: {sorted(_OPS)})"
+            )
+        self._predicates.append((str(column), op, value))
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        self._projection = [str(c) for c in columns]
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _chunk_filter(self, entry: Mapping[str, Any]) -> bool:
+        """Pushdown: reject a manifest chunk entry no predicate can match."""
+        tables = entry.get("tables", {})
+        info = tables.get(self._table, {})
+        stats = info.get("columns", {})
+        for column, op, value in self._predicates:
+            if not stats_may_match(stats.get(column), op, value):
+                return False
+        return True
+
+    def _matches(self, table: Table) -> np.ndarray:
+        keep = np.ones(table.num_rows, dtype=bool)
+        for column, op, value in self._predicates:
+            col = table.column(column)
+            if col.dtype.kind in "US":
+                if op == "in":
+                    value = [str(v) for v in value]
+                elif not isinstance(value, str):
+                    value = str(value)
+            elif isinstance(value, str) and op not in ("in",):
+                value = float(value)
+            with np.errstate(invalid="ignore"):
+                keep &= np.asarray(_OPS[op](col, value), dtype=bool)
+        return keep
+
+    def table(self) -> Table:
+        """Run the pipeline and return the matching (projected) rows."""
+        loaded = self._warehouse.load_table(
+            self._partition, self._table, chunk_filter=self._chunk_filter,
+        )
+        if self._predicates and loaded.num_rows:
+            loaded = loaded.mask(self._matches(loaded))
+        if self._projection is not None:
+            loaded = loaded.select(self._projection)
+        return loaded
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return self.table().to_rows()
+
+    def count(self) -> int:
+        return self.table().num_rows
+
+    def aggregate(self, group_by: Sequence[str],
+                  aggregates: Sequence[Tuple[str, str]]) -> Table:
+        """Group rows on ``group_by`` columns and reduce.
+
+        ``aggregates`` is a list of ``(fn, column)`` pairs with ``fn`` one of
+        :data:`AGGREGATES`; output columns are named ``fn(column)``.  With an
+        empty ``group_by`` the whole table is one group.
+        """
+        for fn, _column in aggregates:
+            if fn not in AGGREGATES:
+                raise ValueError(
+                    f"unknown aggregate {fn!r} (known: {sorted(AGGREGATES)})"
+                )
+        projection, self._projection = self._projection, None
+        try:
+            data = self.table()
+        finally:
+            self._projection = projection
+        group_by = [str(g) for g in group_by]
+        if group_by:
+            keys = [data.column(g) for g in group_by]
+            tagged = np.asarray(
+                ["\x1f".join(str(k[i]) for k in keys)
+                 for i in range(data.num_rows)], dtype=str,
+            )
+            labels = sorted(set(tagged.tolist()))
+        else:
+            tagged = np.zeros(data.num_rows, dtype=str)
+            labels = [""] if data.num_rows else []
+        out: Dict[str, List[Any]] = {g: [] for g in group_by}
+        for fn, column in aggregates:
+            out[f"{fn}({column})"] = []
+        for label in labels:
+            keep = tagged == label
+            for g, part in zip(group_by, label.split("\x1f")):
+                out[g].append(part)
+            for fn, column in aggregates:
+                out[f"{fn}({column})"].append(
+                    AGGREGATES[fn](data.column(column)[keep])
+                )
+        return Table(out)

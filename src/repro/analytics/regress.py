@@ -1,0 +1,210 @@
+"""Cross-run regression queries: conservation drift, cohort drift, bench
+trajectories.
+
+This module is the single source of the repo's **tolerance-tier vocabulary**
+(:data:`TOLERANCE_TIERS`) — the golden tests import it from here, so the CI
+regression gate and the golden suite can never disagree about what
+``standard`` means.
+
+Three queries, all pure functions over a :class:`~repro.analytics.warehouse.
+Warehouse` so they are equally usable from Python, the ``repro analytics
+regress`` CLI (which exits 1 when violations exist — the CI gate), and tests:
+
+* :func:`conservation_violations` — per run, is a series flat to within its
+  tier?  (energy drift, norm loss, charge non-conservation).
+* :func:`cohort_violations` — per run, is a run-level statistic within the
+  tier band of the cohort median?  Catches a run that silently diverged from
+  its peers even when each run is internally self-consistent.
+* :func:`bench_trajectory` — per bench metric, the time-ordered value
+  sequence plus the latest-vs-best ratio, for spotting performance decay
+  across ``repro-bench/1`` history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.analytics.warehouse import BENCH_PARTITION, Warehouse
+
+#: rtol/atol per tier.  ``exact`` is for integer-valued or analytically
+#: pinned series; ``standard`` absorbs reordered-reduction noise (different
+#: SIMD/BLAS builds); ``loose`` is for trajectories that amplify roundoff
+#: (chaotic MD, surface hopping, thermostatted dynamics).  The golden tests
+#: (tests/test_golden.py) import these — edit here, not there.
+TOLERANCE_TIERS: Dict[str, Dict[str, float]] = {
+    "exact": {"rtol": 0.0, "atol": 0.0},
+    "standard": {"rtol": 1e-6, "atol": 1e-9},
+    "loose": {"rtol": 1e-2, "atol": 1e-5},
+}
+
+
+def tier_bounds(tier: str) -> Dict[str, float]:
+    if tier not in TOLERANCE_TIERS:
+        raise ValueError(
+            f"unknown tolerance tier {tier!r} (known: "
+            f"{sorted(TOLERANCE_TIERS)})"
+        )
+    return TOLERANCE_TIERS[tier]
+
+
+def _within(value: float, reference: float, rtol: float, atol: float) -> bool:
+    if not (np.isfinite(value) and np.isfinite(reference)):
+        return False
+    return abs(value - reference) <= atol + rtol * abs(reference)
+
+
+def conservation_violations(warehouse: Warehouse, scenario: str,
+                            series: str, tier: str = "standard",
+                            run_ids: Optional[List[str]] = None,
+                            ) -> List[Dict[str, Any]]:
+    """Runs whose ``series`` drifts from its own first sample beyond ``tier``.
+
+    A conserved quantity (total energy, norm, topological charge) should
+    satisfy ``|x_t - x_0| <= atol + rtol * |x_0|`` for every record.  Each
+    violating run yields one report row with the worst offending sample.
+    """
+    bounds = tier_bounds(tier)
+    rtol, atol = bounds["rtol"], bounds["atol"]
+    query = warehouse.query(scenario, table="series").select(
+        "run_id", "row", "t", series,
+    )
+    if run_ids:
+        query = query.where("run_id", "in", list(run_ids))
+    data = query.table()
+    ids = data.column("run_id")
+    values = data.column(series)
+    times = data.column("t")
+    rows = data.column("row")
+    violations: List[Dict[str, Any]] = []
+    for run_id in sorted(set(ids.tolist())):
+        keep = ids == run_id
+        run_rows = rows[keep]
+        order = np.argsort(run_rows)
+        run_values = values[keep][order]
+        run_times = times[keep][order]
+        if not run_values.size:
+            continue
+        reference = float(run_values[0])
+        drift = np.abs(run_values - reference)
+        allowed = atol + rtol * abs(reference)
+        bad = drift > allowed
+        # NaN anywhere in a conserved series is itself a violation.
+        bad |= ~np.isfinite(run_values)
+        if not bad.any():
+            continue
+        worst = int(np.nanargmax(np.where(bad, drift, -np.inf)))
+        violations.append({
+            "scenario": scenario,
+            "run_id": str(run_id),
+            "series": series,
+            "tier": tier,
+            "reference": reference,
+            "worst_value": float(run_values[worst]),
+            "worst_drift": float(drift[worst]),
+            "allowed": float(allowed),
+            "worst_row": int(run_rows[order][worst]),
+            "worst_t": float(run_times[worst]),
+            "violating_records": int(bad.sum()),
+            "records": int(run_values.size),
+        })
+    return violations
+
+
+def cohort_violations(warehouse: Warehouse, scenario: str,
+                      column: str, tier: str = "standard",
+                      group_by: Optional[List[str]] = None,
+                      ) -> List[Dict[str, Any]]:
+    """Runs whose run-level ``column`` falls outside the cohort median band.
+
+    ``column`` is a ``runs``-table column (typically ``obs.<name>.mean`` or
+    ``.final``).  Cohorts are formed by ``group_by`` (default: the ``engine``
+    column, so reference and optimized engines are judged against their own
+    peers); within each cohort every run is compared to the cohort median
+    with the tier's rtol/atol.  Cohorts of fewer than three runs are skipped
+    — a median of two is just an average of disagreement.
+    """
+    bounds = tier_bounds(tier)
+    rtol, atol = bounds["rtol"], bounds["atol"]
+    group_by = list(group_by) if group_by else ["engine"]
+    data = warehouse.query(scenario, table="runs").table()
+    if not data.num_rows:
+        return []
+    ids = data.column("run_id")
+    values = np.asarray(data.column(column), dtype=float)
+    keys = [data.column(g).astype(str) for g in group_by]
+    tags = np.asarray(
+        ["\x1f".join(str(k[i]) for k in keys) for i in range(data.num_rows)],
+        dtype=str,
+    )
+    violations: List[Dict[str, Any]] = []
+    for tag in sorted(set(tags.tolist())):
+        keep = tags == tag
+        cohort = values[keep]
+        finite = cohort[np.isfinite(cohort)]
+        if finite.size < 3:
+            continue
+        median = float(np.median(finite))
+        for run_id, value in zip(ids[keep], cohort):
+            if _within(float(value), median, rtol, atol):
+                continue
+            violations.append({
+                "scenario": scenario,
+                "run_id": str(run_id),
+                "column": column,
+                "tier": tier,
+                "cohort": dict(zip(group_by, tag.split("\x1f"))),
+                "cohort_size": int(finite.size),
+                "median": median,
+                "value": float(value),
+                "deviation": float(abs(float(value) - median)),
+                "allowed": float(atol + rtol * abs(median)),
+            })
+    return violations
+
+
+def bench_trajectory(warehouse: Warehouse, bench: Optional[str] = None,
+                     metric: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Time-ordered metric trajectories from the ``_bench`` partition.
+
+    One report row per (bench, metric.*) pair: the value sequence sorted by
+    ``ts``, plus latest/best/worst so a dashboard (or a human reading JSON)
+    can spot a performance metric decaying across commits.
+    """
+    if BENCH_PARTITION not in warehouse.partitions():
+        return []
+    query = warehouse.query(BENCH_PARTITION, table="bench")
+    if bench:
+        query = query.where("bench", "==", str(bench))
+    data = query.table()
+    if not data.num_rows:
+        return []
+    names = data.column("bench")
+    ts = np.asarray(data.column("ts"), dtype=float)
+    metric_columns = [
+        c for c in data.column_names
+        if c.startswith("metric.") and (metric is None
+                                        or c == f"metric.{metric}"
+                                        or c == metric)
+    ]
+    out: List[Dict[str, Any]] = []
+    for bench_name in sorted(set(names.tolist())):
+        keep = names == bench_name
+        order = np.argsort(ts[keep], kind="stable")
+        for column in metric_columns:
+            series = np.asarray(data.column(column), dtype=float)[keep][order]
+            finite = series[np.isfinite(series)]
+            if not finite.size:
+                continue
+            out.append({
+                "bench": str(bench_name),
+                "metric": column[len("metric."):],
+                "samples": int(finite.size),
+                "values": [float(v) for v in series.tolist()],
+                "ts": [float(v) for v in ts[keep][order].tolist()],
+                "latest": float(finite[-1]),
+                "best": float(finite.min()),
+                "worst": float(finite.max()),
+            })
+    return out

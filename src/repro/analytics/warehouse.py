@@ -1,0 +1,488 @@
+"""The columnar results warehouse: partition-per-scenario npz chunk blocks.
+
+One :class:`Warehouse` roots a directory of **partitions** — one per
+scenario, plus the reserved ``_bench`` partition for ``repro-bench/1``
+documents.  Each partition holds immutable columnar chunks
+(:mod:`repro.analytics.chunk`) and one ``PARTITION.json`` manifest naming
+the committed chunks, their per-column pushdown stats, and the set of
+ingested run ids.  The manifest follows the checkpoint store's commit
+discipline exactly: chunk blobs are written and fsynced first, the atomic
+manifest rewrite is the commit point, and a crash in the window between them
+leaves only an orphan chunk that :meth:`Warehouse.sweep` removes — never a
+manifest naming missing data.  Cross-process writers are serialised by the
+same advisory :class:`~repro.store.locks.RunLock` the checkpoint store uses.
+
+Ingestion is **idempotent on (partition, run id)**: a run id already in the
+manifest is skipped, so journal-replay re-runs, daemon retries and repeated
+backfills never double-count.
+
+A scenario partition carries two tables:
+
+``runs``
+    One row per ingested run: ``run_id``, ``engine``, ``seed``,
+    ``num_records``, ``final_time``, ``ingested_at``, the **full flattened
+    spec** as ``param.*`` columns, and per-observable whole-series summary
+    columns ``obs.<name>.mean|absmax|final|l2``.
+``series``
+    One row per recorded sample (long format): ``run_id``, ``row`` (sample
+    index), ``t``, one column per scalar observable (named verbatim), and
+    per-record reductions ``<name>.l2|mean|absmax`` for observables with
+    extra axes (per-atom positions and the like keep their physics
+    queryable without exploding into thousands of columns).
+
+The ``_bench`` partition carries a single ``bench`` table: one row per
+``repro-bench/1`` document with ``bench``, ``ts``, ``doc_id``, ``source``
+and every numeric payload leaf as a ``metric.*`` column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro import faults
+from repro.analytics.chunk import column_stats, read_chunk, write_chunk
+from repro.analytics.columns import Table, concat_columns, flatten, \
+    encode_leaf, numeric_leaves
+from repro.store.locks import RunLock
+from repro.store.util import atomic_write_json, file_size, validate_key
+
+FAULT_MANIFEST_PRE_WRITE = faults.register(
+    "analytics.manifest.pre_write",
+    "after the chunk blob is durable, before the partition-manifest temp "
+    "file is written (the chunk is an orphan; the ingest never happened)",
+)
+FAULT_MANIFEST_PRE_RENAME = faults.register(
+    "analytics.manifest.pre_rename",
+    "after the manifest temp file is fsynced, before os.replace commits it "
+    "(the instant either side of the ingest commit point)",
+)
+FAULT_MANIFEST_POST_COMMIT = faults.register(
+    "analytics.manifest.post_commit",
+    "immediately after the manifest rename lands (ingest durable, caller "
+    "has not yet observed success — a re-ingest must detect the run id "
+    "and skip)",
+)
+
+#: On-disk format version of partition manifests.
+ANALYTICS_FORMAT = 1
+
+#: Reserved partition name of the bench-document table.
+BENCH_PARTITION = "_bench"
+
+MANIFEST_NAME = "PARTITION.json"
+
+
+class AnalyticsError(RuntimeError):
+    """A warehouse operation failed (corrupt manifest, unknown partition)."""
+
+
+def _summarize_series(values: np.ndarray) -> Dict[str, float]:
+    """Whole-series summary of one observable (the ``runs`` table columns)."""
+    flat = np.asarray(values, dtype=float).ravel()
+    finite = flat[np.isfinite(flat)]
+    final = np.asarray(values[-1], dtype=float).ravel() if len(values) \
+        else np.empty(0)
+    return {
+        "mean": float(finite.mean()) if finite.size else float("nan"),
+        "absmax": float(np.abs(finite).max()) if finite.size else float("nan"),
+        "l2": float(np.sqrt(np.sum(finite ** 2))) if finite.size else 0.0,
+        "final": float(final[0]) if final.size == 1 else (
+            float(np.sqrt(np.sum(final[np.isfinite(final)] ** 2)))
+            if final.size else float("nan")
+        ),
+    }
+
+
+def result_tables(result: Mapping[str, Any], run_id: str,
+                  ingested_at: Optional[float] = None,
+                  ) -> Dict[str, Table]:
+    """Flatten one ``RunResult`` dict into its ``runs``/``series`` tables.
+
+    This is the pure, deterministic core of ingestion — given the same
+    result dict and run id it produces bit-identical tables, which is what
+    makes re-ingests comparable and the round-trip property testable.
+    """
+    times = np.asarray(result.get("times", []), dtype=float)
+    observables = {
+        str(name): np.asarray(series, dtype=float)
+        for name, series in dict(result.get("observables", {})).items()
+    }
+    n = int(times.size)
+    for name, series in observables.items():
+        if series.shape[:1] != (n,):
+            raise AnalyticsError(
+                f"observable {name!r} has {series.shape[:1]} records, "
+                f"expected {n} to match times"
+            )
+
+    # -- series table: one row per recorded sample ----------------------
+    series_cols: Dict[str, Any] = {
+        # A plain list, not np.full(..., dtype=str): unsized unicode dtype
+        # truncates the fill value to one character.
+        "run_id": [str(run_id)] * n,
+        "row": np.arange(n, dtype=float),
+        "t": times,
+    }
+    for name, series in sorted(observables.items()):
+        if series.ndim == 1:
+            series_cols[name] = series
+        else:
+            per_record = series.reshape(n, -1) if n else series.reshape(0, 1)
+            with np.errstate(invalid="ignore"):
+                series_cols[f"{name}.l2"] = np.sqrt(
+                    np.nansum(per_record ** 2, axis=1)
+                )
+                series_cols[f"{name}.mean"] = np.nanmean(per_record, axis=1) \
+                    if per_record.shape[1] else np.full(n, np.nan)
+                series_cols[f"{name}.absmax"] = np.nanmax(
+                    np.abs(per_record), axis=1
+                ) if per_record.shape[1] else np.full(n, np.nan)
+
+    # -- runs table: one row per run ------------------------------------
+    spec = dict(result.get("metadata", {})).get("spec")
+    if not isinstance(spec, Mapping):
+        spec = {}
+    run_cols: Dict[str, Any] = {
+        "run_id": [str(run_id)],
+        "engine": [str(result.get("engine", "?"))],
+        "num_records": [float(n)],
+        "final_time": [float(times[-1]) if n else float("nan")],
+        "ingested_at": [float(ingested_at if ingested_at is not None
+                              else time.time())],
+    }
+    for key, leaf in sorted(flatten(spec, prefix="param.").items()):
+        run_cols[key] = [encode_leaf(leaf)]
+    for name, series in sorted(observables.items()):
+        for stat, value in _summarize_series(series).items():
+            run_cols[f"obs.{name}.{stat}"] = [value]
+    return {"runs": Table(run_cols), "series": Table(series_cols)}
+
+
+def bench_table(document: Mapping[str, Any], doc_id: str,
+                source: str = "", ts: Optional[float] = None) -> Table:
+    """One ``repro-bench/1`` document as a single-row bench table."""
+    payload = document.get("payload")
+    if not isinstance(payload, Mapping):
+        payload = {}
+    cols: Dict[str, Any] = {
+        "bench": [str(document.get("bench", "?"))],
+        "doc_id": [str(doc_id)],
+        "source": [str(source)],
+        "ts": [float(ts if ts is not None
+                     else document.get("ts", 0.0) or 0.0)],
+    }
+    for key, value in sorted(numeric_leaves(payload, prefix="metric.").items()):
+        cols[key] = [value]
+    return Table(cols)
+
+
+class Warehouse:
+    """Columnar results warehouse rooted at one directory (see module doc)."""
+
+    def __init__(self, root, lock_timeout: float = 10.0) -> None:
+        self.root = Path(root)
+        self.lock_timeout = float(lock_timeout)
+
+    # ------------------------------------------------------------------
+    # Partition plumbing
+    # ------------------------------------------------------------------
+    def partition_dir(self, partition: str) -> Path:
+        return self.root / validate_key(partition, "partition")
+
+    def _manifest_path(self, partition: str) -> Path:
+        return self.partition_dir(partition) / MANIFEST_NAME
+
+    def partitions(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and (p / MANIFEST_NAME).exists()
+        )
+
+    def read_manifest(self, partition: str) -> Optional[Dict[str, Any]]:
+        path = self._manifest_path(partition)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalyticsError(
+                f"corrupt partition manifest {path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or not isinstance(
+                manifest.get("chunks"), list) or not isinstance(
+                manifest.get("runs"), dict):
+            raise AnalyticsError(
+                f"corrupt partition manifest {path}: missing or malformed "
+                "'chunks'/'runs' sections"
+            )
+        fmt = manifest.get("analytics_format")
+        if fmt != ANALYTICS_FORMAT:
+            raise AnalyticsError(
+                f"partition manifest {path} has analytics_format {fmt!r}; "
+                f"this build reads format {ANALYTICS_FORMAT}"
+            )
+        return manifest
+
+    def _new_manifest(self, partition: str) -> Dict[str, Any]:
+        return {
+            "analytics_format": ANALYTICS_FORMAT,
+            "partition": str(partition),
+            "next_chunk": 0,
+            "runs": {},
+            "chunks": [],
+        }
+
+    def _commit(self, partition: str, manifest: Dict[str, Any]) -> None:
+        faults.point(FAULT_MANIFEST_PRE_WRITE)
+        atomic_write_json(
+            self._manifest_path(partition), manifest,
+            pre_rename=lambda: faults.point(FAULT_MANIFEST_PRE_RENAME),
+        )
+        faults.point(FAULT_MANIFEST_POST_COMMIT)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _append_chunk(self, partition: str, tables: Dict[str, Table],
+                      run_ids: List[str], ingested_at: float,
+                      ) -> Dict[str, Any]:
+        """Write one chunk + commit it to the manifest, under the lock.
+
+        Returns an ingest report: which of ``run_ids`` were new (ingested)
+        and which were already present (skipped).  When every id is already
+        present nothing is written at all.
+        """
+        part_dir = self.partition_dir(partition)
+        part_dir.mkdir(parents=True, exist_ok=True)
+        with RunLock(part_dir, timeout=self.lock_timeout):
+            manifest = self.read_manifest(partition) \
+                or self._new_manifest(partition)
+            fresh = [r for r in run_ids if r not in manifest["runs"]]
+            skipped = [r for r in run_ids if r in manifest["runs"]]
+            if not fresh:
+                return {"partition": partition, "ingested": [],
+                        "skipped": skipped, "chunk": None}
+            if skipped:
+                # Mixed batch: keep only the fresh runs' rows.
+                tables = {
+                    name: table.mask(np.isin(table.column("run_id"), fresh))
+                    if "run_id" in table.columns else table
+                    for name, table in tables.items()
+                }
+            chunk_name = f"chunk-{int(manifest['next_chunk']):06d}.npz"
+            chunk_path = part_dir / chunk_name
+            write_chunk(chunk_path, tables)
+            entry = {
+                "file": chunk_name,
+                "bytes": file_size(chunk_path),
+                "run_ids": list(fresh),
+                "tables": {
+                    name: {
+                        "rows": table.num_rows,
+                        "columns": column_stats(table),
+                    }
+                    for name, table in tables.items()
+                },
+            }
+            manifest["next_chunk"] = int(manifest["next_chunk"]) + 1
+            manifest["chunks"].append(entry)
+            for run_id in fresh:
+                manifest["runs"][run_id] = {
+                    "chunk": chunk_name,
+                    "ingested_at": ingested_at,
+                }
+            self._commit(partition, manifest)
+            return {"partition": partition, "ingested": list(fresh),
+                    "skipped": skipped, "chunk": chunk_name}
+
+    def ingest_result(self, result: Any, run_id: Optional[str] = None,
+                      ingested_at: Optional[float] = None) -> Dict[str, Any]:
+        """Ingest one run result (a ``RunResult`` or its dict form).
+
+        ``run_id`` defaults to the id recorded by the executor in
+        ``metadata.executor.run_id``.  Idempotent: a (scenario, run id)
+        already in the partition manifest is skipped without writing.
+        """
+        if hasattr(result, "to_dict"):
+            result = result.to_dict()
+        if not isinstance(result, Mapping):
+            raise AnalyticsError(
+                f"cannot ingest a {type(result).__name__}; expected a "
+                "RunResult or its dict form"
+            )
+        scenario = str(result.get("scenario", "")) or None
+        if scenario is None:
+            raise AnalyticsError("result has no scenario name")
+        if run_id is None:
+            executor_meta = dict(result.get("metadata", {})).get(
+                "executor") or {}
+            run_id = executor_meta.get("run_id")
+        if run_id is None:
+            raise AnalyticsError(
+                f"no run id for a {scenario!r} result: pass run_id= (the "
+                "executor stamps metadata.executor.run_id automatically)"
+            )
+        run_id = validate_key(str(run_id), "run_id")
+        ts = float(ingested_at if ingested_at is not None else time.time())
+        tables = result_tables(result, run_id, ingested_at=ts)
+        report = self._append_chunk(scenario, tables, [run_id], ts)
+        report["run_id"] = run_id
+        report["rows"] = tables["series"].num_rows \
+            if report["ingested"] else 0
+        return report
+
+    def ingest_bench(self, document: Mapping[str, Any], doc_id: str,
+                     source: str = "", ts: Optional[float] = None,
+                     ) -> Dict[str, Any]:
+        """Ingest one ``repro-bench/1`` document, idempotent on ``doc_id``."""
+        if document.get("schema") != "repro-bench/1":
+            raise AnalyticsError(
+                f"not a repro-bench/1 document: schema="
+                f"{document.get('schema')!r}"
+            )
+        doc_id = validate_key(str(doc_id), "doc_id")
+        table = bench_table(document, doc_id, source=source, ts=ts)
+        # The bench table dedupes on doc_id; reuse the run-id machinery by
+        # treating doc_id as the partition's run id.
+        tables = {"bench": Table({
+            **table.columns,
+            "run_id": table.column("doc_id"),
+        })}
+        when = float(ts if ts is not None else time.time())
+        report = self._append_chunk(BENCH_PARTITION, tables, [doc_id], when)
+        report["doc_id"] = doc_id
+        return report
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def run_ids(self, partition: str) -> List[str]:
+        manifest = self.read_manifest(partition)
+        return sorted(manifest["runs"]) if manifest else []
+
+    def tables(self, partition: str) -> List[str]:
+        manifest = self.read_manifest(partition)
+        if manifest is None:
+            return []
+        names: List[str] = []
+        for entry in manifest["chunks"]:
+            for name in entry.get("tables", {}):
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def load_table(self, partition: str, table: str,
+                   chunk_filter=None) -> Table:
+        """Concatenate one table across (optionally filtered) chunks.
+
+        ``chunk_filter(chunk_entry) -> bool`` is the pushdown hook: entries
+        it rejects are never opened.
+        """
+        manifest = self.read_manifest(partition)
+        if manifest is None:
+            raise AnalyticsError(
+                f"unknown partition {partition!r} under {self.root} "
+                f"(known: {self.partitions()})"
+            )
+        part_dir = self.partition_dir(partition)
+        pieces: List[Dict[str, np.ndarray]] = []
+        schema: Dict[str, str] = {}
+        for entry in manifest["chunks"]:
+            info = entry.get("tables", {}).get(table)
+            if info is None:
+                continue
+            for name, stats in info.get("columns", {}).items():
+                schema.setdefault(name, stats.get("kind", "number"))
+            if chunk_filter is not None and not chunk_filter(entry):
+                continue
+            decoded = read_chunk(part_dir / entry["file"], table=table)
+            if table in decoded:
+                pieces.append(decoded[table])
+        if not pieces and schema:
+            # Every chunk was pruned (or matched nothing): keep the schema so
+            # downstream select/aggregate still see the partition's columns.
+            empty = np.asarray([], dtype=str)
+            pieces = [{
+                name: empty if kind == "text" else np.asarray([], dtype=float)
+                for name, kind in schema.items()
+            }]
+        return concat_columns(pieces)
+
+    def query(self, partition: str, table: Optional[str] = None):
+        """A :class:`~repro.analytics.query.Query` over one partition table.
+
+        ``table`` defaults to ``series`` for scenario partitions and
+        ``bench`` for the bench partition.
+        """
+        from repro.analytics.query import Query
+
+        if table is None:
+            table = "bench" if partition == BENCH_PARTITION else "series"
+        return Query(self, partition, table)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def describe(self) -> List[Dict[str, Any]]:
+        """Per-partition summary rows (the ``analytics summary`` CLI)."""
+        out = []
+        for partition in self.partitions():
+            manifest = self.read_manifest(partition)
+            if manifest is None:  # pragma: no cover - raced removal
+                continue
+            part_dir = self.partition_dir(partition)
+            rows_by_table: Dict[str, int] = {}
+            total_bytes = 0
+            for entry in manifest["chunks"]:
+                total_bytes += int(entry.get("bytes", 0))
+                for name, info in entry.get("tables", {}).items():
+                    rows_by_table[name] = rows_by_table.get(name, 0) \
+                        + int(info.get("rows", 0))
+            out.append({
+                "partition": partition,
+                "runs": len(manifest["runs"]),
+                "chunks": len(manifest["chunks"]),
+                "rows": rows_by_table,
+                "bytes": total_bytes,
+                "path": str(part_dir),
+            })
+        return out
+
+    def sweep(self, partition: Optional[str] = None) -> Dict[str, Any]:
+        """Remove orphan chunk files (written but never committed).
+
+        A crash between the chunk write and the manifest commit leaves a
+        chunk no manifest names; sweeping deletes it.  Returns a report of
+        removed files and reclaimed bytes.
+        """
+        removed: List[str] = []
+        reclaimed = 0
+        targets = [partition] if partition else self.partitions()
+        for name in targets:
+            part_dir = self.partition_dir(name)
+            manifest = self.read_manifest(name)
+            if manifest is None:
+                continue
+            with RunLock(part_dir, timeout=self.lock_timeout):
+                manifest = self.read_manifest(name)
+                if manifest is None:  # pragma: no cover - raced removal
+                    continue
+                live = {entry["file"] for entry in manifest["chunks"]}
+                for path in part_dir.glob("chunk-*.npz"):
+                    if path.name in live:
+                        continue
+                    reclaimed += file_size(path)
+                    removed.append(f"{name}/{path.name}")
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - raced removal
+                        pass
+        return {"removed": sorted(removed), "reclaimed_bytes": reclaimed}

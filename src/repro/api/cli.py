@@ -33,6 +33,30 @@ Subcommands
     sizes), inspect one run's manifest, upgrade v1 JSON trees to the v2
     incremental layout in place, or compact (merge series segments, sweep
     unreferenced files, apply a ``--retention`` policy).
+``analytics ingest/summary/query/regress/bench/dashboard``
+    The columnar results warehouse (:mod:`repro.analytics`): backfill
+    existing result trees and ``repro-bench/1`` documents, inspect and
+    query partitions (filter / project / group-aggregate with predicate
+    pushdown), run conservation/cohort regression gates, track bench-metric
+    trajectories, and render a daemon/store stats dashboard (live via
+    ``/v1/stats`` or from an offline scan).
+
+Exit codes
+----------
+Every subcommand follows one convention (:mod:`repro.utils.cliutil`):
+
+* ``0`` — success.
+* ``1`` — the operation ran and found what it looked for: a failed run
+  (``run``/``batch``/``submit --wait``/``fetch``) or a tripped regression
+  gate (``analytics regress``).
+* ``2`` — usage or state errors: bad arguments, unknown scenarios/runs,
+  corrupt stores or warehouses.
+* ``3`` — a daemon was needed but unreachable, or a ``--wait``/``--timeout``
+  deadline expired.
+
+``--json`` behaves the same everywhere it appears: it takes an optional
+path (``--json out.json``), and a bare ``--json`` writes the document to
+stdout (equivalent to ``--json -``).
 
 Examples
 --------
@@ -44,9 +68,15 @@ Examples
     python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --checkpoint-every 25
     python -m repro run mlmd-photoswitch --checkpoint-dir ckpts --resume
     python -m repro batch --all --workers 4 --json batch.json
-    python -m repro serve --port 8642 --workers 4 --checkpoint-dir serve-state
+    python -m repro serve --port 8642 --workers 4 --checkpoint-dir serve-state \
+        --analytics warehouse
     python -m repro submit maxwell-vacuum --set runtime.num_steps=30 --wait
     python -m repro status && python -m repro fetch r000000 --json out.json
+    python -m repro analytics ingest warehouse serve-state/results benchmarks/results
+    python -m repro analytics query warehouse mlmd-photoswitch --table runs \
+        --group-by engine --agg mean:obs.energy.mean --agg count:run_id
+    python -m repro analytics regress warehouse mlmd-photoswitch \
+        --series energy --tier loose || echo "regression!"
 """
 
 from __future__ import annotations
@@ -85,6 +115,15 @@ def _add_client_args(parser: argparse.ArgumentParser) -> None:
                         help=f"daemon port (default {DEFAULT_PORT})")
 
 
+def _add_json_arg(parser: argparse.ArgumentParser, what: str) -> None:
+    """The one ``--json`` shape every subcommand shares: an optional PATH,
+    with a bare ``--json`` meaning stdout (``-``)."""
+    parser.add_argument("--json", dest="json_path", nargs="?", const="-",
+                        default=None, metavar="PATH",
+                        help=f"write {what} as JSON to PATH "
+                             "(default with no PATH: stdout)")
+
+
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="stream snapshots to a CheckpointStore rooted here")
@@ -120,8 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("scenario", help="registered scenario name")
     _add_override_args(run)
-    run.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                     help="write the full RunResult JSON to PATH ('-' = stdout)")
+    _add_json_arg(run, "the full RunResult")
     run.add_argument("--steps", type=int, default=None,
                      help="shorthand for --set runtime.num_steps=N")
     run.add_argument("--quiet", action="store_true",
@@ -144,9 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-retries", type=int, default=1, metavar="N",
                        help="retries per failed run before giving up (default 1)")
     _add_override_args(batch)
-    batch.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                       help="write all outcomes as a JSON array to PATH "
-                            "('-' = stdout)")
+    _add_json_arg(batch, "all outcomes (an array)")
     batch.add_argument("--quiet", action="store_true",
                        help="suppress the per-run summary table")
     _add_checkpoint_args(batch)
@@ -182,6 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "results (pruned on startup replay), e.g. "
                             "'keep=50,max-age=7d,max-bytes=1G'; every=K "
                             "terms apply to snapshot steps only")
+    serve.add_argument("--analytics", dest="analytics_dir", default=None,
+                       metavar="DIR",
+                       help="columnar-warehouse root: every finished run is "
+                            "ingested post-run (idempotently) and /v1/stats "
+                            "reports the warehouse footprint")
     serve.add_argument("--lease-ttl", type=float, default=None, metavar="S",
                        help="seconds a run's ownership lease outlives its "
                             "last checkpoint; governs how quickly another "
@@ -222,6 +263,101 @@ def _build_parser() -> argparse.ArgumentParser:
     store_compact.add_argument("--retention", default=None, metavar="SPEC",
                                help="also prune snapshots by this policy")
 
+    analytics = sub.add_parser(
+        "analytics",
+        help="columnar results warehouse: ingest / summary / query / "
+             "regress / bench / dashboard",
+    )
+    an_sub = analytics.add_subparsers(dest="analytics_command", required=True)
+    an_ingest = an_sub.add_parser(
+        "ingest", help="backfill result trees and repro-bench/1 documents "
+                       "into a warehouse (idempotent on run id)")
+    an_ingest.add_argument("warehouse", help="warehouse root directory")
+    an_ingest.add_argument("paths", nargs="+", metavar="PATH",
+                           help="result files/dirs (serve results/, RunResult "
+                                "dumps, batch arrays, bench JSON/NDJSON)")
+    an_ingest.add_argument("--sweep", action="store_true",
+                           help="also remove orphan chunks left by crashed "
+                                "ingests")
+    an_ingest.add_argument("--json", dest="as_json", action="store_true",
+                           help="print the full ingest report as JSON")
+    an_summary = an_sub.add_parser(
+        "summary", help="per-partition inventory of a warehouse")
+    an_summary.add_argument("warehouse", help="warehouse root directory")
+    an_summary.add_argument("--json", dest="as_json", action="store_true",
+                            help="print machine-readable JSON")
+    an_query = an_sub.add_parser(
+        "query", help="filter / project / group-aggregate one partition "
+                      "table")
+    an_query.add_argument("warehouse", help="warehouse root directory")
+    an_query.add_argument("partition", help="partition (scenario name, or "
+                                            "_bench)")
+    an_query.add_argument("--table", default=None,
+                          help="table name (default: series, or bench for "
+                               "_bench)")
+    an_query.add_argument("--where", action="append", default=[],
+                          metavar="COL<OP>VALUE",
+                          help="row predicate, e.g. 'engine==reference' or "
+                               "'t>=1.0' (repeatable; all must hold)")
+    an_query.add_argument("--select", action="append", default=[],
+                          metavar="COL", help="project to these columns "
+                                              "(repeatable)")
+    an_query.add_argument("--group-by", action="append", default=[],
+                          metavar="COL", help="grouping keys for --agg "
+                                              "(repeatable)")
+    an_query.add_argument("--agg", dest="aggregates", action="append",
+                          default=[], metavar="FN:COL",
+                          help="aggregate, e.g. mean:obs.energy.mean "
+                               "(fns: count/sum/mean/min/max/std/first/last)")
+    an_query.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="print at most N rows")
+    an_query.add_argument("--json", dest="as_json", action="store_true",
+                          help="print the result table as JSON")
+    an_regress = an_sub.add_parser(
+        "regress", help="cross-run regression gate: exits 1 when any "
+                        "conservation/cohort violation exists (CI-friendly)")
+    an_regress.add_argument("warehouse", help="warehouse root directory")
+    an_regress.add_argument("scenario", help="scenario partition to check")
+    an_regress.add_argument("--series", action="append", default=[],
+                            metavar="NAME",
+                            help="conservation check: this series column "
+                                 "must stay flat within the tier "
+                                 "(repeatable)")
+    an_regress.add_argument("--cohort", action="append", default=[],
+                            metavar="COL",
+                            help="cohort check: this runs-table column must "
+                                 "stay within the tier band of the cohort "
+                                 "median (repeatable)")
+    an_regress.add_argument("--tier", default="standard",
+                            choices=["exact", "standard", "loose"],
+                            help="tolerance tier (default standard)")
+    an_regress.add_argument("--json", dest="as_json", action="store_true",
+                            help="print violations as JSON")
+    an_bench = an_sub.add_parser(
+        "bench", help="repro-bench/1 metric trajectories over ingested "
+                      "history")
+    an_bench.add_argument("warehouse", help="warehouse root directory")
+    an_bench.add_argument("--bench", default=None,
+                          help="restrict to one bench name")
+    an_bench.add_argument("--metric", default=None,
+                          help="restrict to one payload metric")
+    an_bench.add_argument("--json", dest="as_json", action="store_true",
+                          help="print trajectories as JSON")
+    an_dash = an_sub.add_parser(
+        "dashboard", help="stats snapshot: live /v1/stats from a daemon, or "
+                          "an offline scan of a serve root")
+    an_dash.add_argument("root", nargs="?", default=None,
+                         help="serve state root to scan offline")
+    an_dash.add_argument("--warehouse", dest="warehouse", default=None,
+                         metavar="DIR", help="also report this warehouse's "
+                                             "footprint")
+    an_dash.add_argument("--live", action="store_true",
+                         help="query a running daemon's /v1/stats instead "
+                              "of scanning disk")
+    _add_client_args(an_dash)
+    an_dash.add_argument("--json", dest="as_json", action="store_true",
+                         help="print the raw stats snapshot as JSON")
+
     submit = sub.add_parser("submit", help="queue a run on a serve daemon")
     submit.add_argument("scenario", help="registered scenario name")
     _add_override_args(submit)
@@ -235,9 +371,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "summary")
     submit.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="give up on --wait after S seconds")
-    submit.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                        help="with --wait: write the RunResult JSON to PATH "
-                             "('-' = stdout)")
+    _add_json_arg(submit, "the RunResult (with --wait)")
     submit.add_argument("--quiet", action="store_true",
                         help="print only the run id")
 
@@ -245,8 +379,7 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument("run_id", nargs="?", default=None,
                         help="run id (default: list every run + health)")
     _add_client_args(status)
-    status.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                        help="write the status JSON to PATH ('-' = stdout)")
+    _add_json_arg(status, "the status document")
 
     fetch = sub.add_parser("fetch", help="download one finished run's result")
     fetch.add_argument("run_id", help="run id to fetch")
@@ -256,8 +389,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "while it is pending")
     fetch.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="give up on --wait after S seconds")
-    fetch.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                       help="write the RunResult JSON to PATH ('-' = stdout)")
+    _add_json_arg(fetch, "the RunResult")
     fetch.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
 
@@ -352,7 +484,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not outcome.ok:
         print(f"error: {outcome.error}", file=sys.stderr)
         return 1
-    if not args.quiet:
+    if not args.quiet and args.json_path != "-":
         _print_run_summary(outcome)
     if args.json_path:
         _write_json(outcome.to_json(), args.json_path, args.quiet)
@@ -386,19 +518,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     outcomes = service.run(specs, resume=args.resume)
 
-    failures = 0
-    if not args.quiet:
+    failures = sum(1 for outcome in outcomes if not outcome.ok)
+    if not args.quiet and args.json_path != "-":
         width = max(len(n) for n in names)
         for name, outcome in zip(names, outcomes):
             if outcome.ok:
                 print(f"  {name:<{width}}  ok      "
                       f"{outcome.num_records} records to t = {outcome.times[-1]:.4g}")
             else:
-                failures += 1
                 print(f"  {name:<{width}}  FAILED  {outcome.error} "
                       f"(attempts: {outcome.attempts})")
-    else:
-        failures = sum(1 for outcome in outcomes if not outcome.ok)
     if args.json_path:
         payload = json.dumps([outcome.to_dict() for outcome in outcomes])
         _write_json(payload, args.json_path, args.quiet)
@@ -416,6 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         keep=args.keep,
         retention=args.retention,
+        analytics_dir=args.analytics_dir,
         **({"lease_ttl": args.lease_ttl} if args.lease_ttl is not None else {}),
     )
     server.start()
@@ -436,8 +566,15 @@ def _print_outcome(outcome, args) -> int:
     if not outcome.ok:
         print(f"error: run failed after {outcome.attempts} attempt(s): "
               f"{outcome.error}", file=sys.stderr)
+        # --json is honoured on failure too (the RunFailure document), so
+        # scripted callers always get a parseable artefact + exit code 1.
+        if getattr(args, "json_path", None):
+            _write_json(json.dumps(outcome.to_dict(), indent=2),
+                        args.json_path, quiet=True)
         return 1
-    if not args.quiet:
+    # Bare --json streams to stdout, which must then be pure JSON: the human
+    # summary would corrupt every `repro fetch --json | jq` pipeline.
+    if not args.quiet and getattr(args, "json_path", None) != "-":
         _print_run_summary(outcome)
     if getattr(args, "json_path", None):
         _write_json(outcome.to_json(), args.json_path, args.quiet)
@@ -514,6 +651,46 @@ def _cmd_store(args: argparse.Namespace) -> int:
                                  retention=args.retention)
 
 
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    from repro.analytics import cli as analytics_cli
+
+    if args.analytics_command == "ingest":
+        return analytics_cli.cmd_ingest(args.warehouse, args.paths,
+                                        sweep=args.sweep,
+                                        as_json=args.as_json)
+    if args.analytics_command == "summary":
+        return analytics_cli.cmd_summary(args.warehouse,
+                                         as_json=args.as_json)
+    if args.analytics_command == "query":
+        return analytics_cli.cmd_query(
+            args.warehouse, args.partition, table=args.table,
+            where=args.where, select=args.select, group_by=args.group_by,
+            aggregates=args.aggregates, limit=args.limit,
+            as_json=args.as_json,
+        )
+    if args.analytics_command == "regress":
+        return analytics_cli.cmd_regress(
+            args.warehouse, args.scenario, series=args.series,
+            tier=args.tier, cohort=args.cohort, as_json=args.as_json,
+        )
+    if args.analytics_command == "bench":
+        return analytics_cli.cmd_bench(args.warehouse, bench=args.bench,
+                                       metric=args.metric,
+                                       as_json=args.as_json)
+    assert args.analytics_command == "dashboard"
+    if not args.live and args.root is None and args.warehouse is None:
+        raise ValueError(
+            "dashboard needs a serve root to scan, --live (query a daemon), "
+            "or --warehouse"
+        )
+    return analytics_cli.cmd_dashboard(
+        serve_root=args.root, warehouse_root=args.warehouse,
+        host=args.host if args.live else None,
+        port=args.port if args.live else None,
+        as_json=args.as_json,
+    )
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     ack = _client(args).shutdown(drain=not args.no_drain)
     print(f"daemon at {args.host}:{args.port} stopping "
@@ -534,6 +711,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fetch": lambda: _cmd_fetch(args),
         "shutdown": lambda: _cmd_shutdown(args),
         "store": lambda: _cmd_store(args),
+        "analytics": lambda: _cmd_analytics(args),
     }
     try:
         return commands[args.command]()

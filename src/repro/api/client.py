@@ -192,6 +192,11 @@ class ServeClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")
 
+    def stats(self) -> Dict[str, Any]:
+        """Deep observability snapshot (``/v1/stats``): queue depth, EWMA
+        run time, warm-pool hit rate, store footprint, lease states."""
+        return self._request("GET", "/stats")
+
     def scenarios(self) -> List[str]:
         return list(self._request("GET", "/scenarios")["scenarios"])
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import traceback as _traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -193,6 +193,18 @@ class RunResult:
     @property
     def num_records(self) -> int:
         return int(self.times.size)
+
+    @property
+    def run_id(self) -> Optional[str]:
+        """The executor-stamped run id (``metadata.executor.run_id``).
+
+        ``None`` for results produced outside the executor/daemon path —
+        analytics ingestion then requires an explicit id (or hashes the
+        content).
+        """
+        executor = self.metadata.get("executor") or {}
+        value = executor.get("run_id")
+        return str(value) if value is not None else None
 
     def final(self, name: str) -> np.ndarray | float:
         """The last recorded value of one observable (scalar when 0-d)."""

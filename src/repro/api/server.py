@@ -41,6 +41,9 @@ Wire protocol (newline-delimited JSON over HTTP/1.0; see README "Serving")::
     GET  /v1/runs/<id>/events     NDJSON stream: status + checkpoint events,
                                   terminated by a "done"/"failed" event
     GET  /v1/health               daemon + pool + queue statistics
+    GET  /v1/stats                deep observability: queue depth, EWMA run
+                                  time, warm-pool hit rate, store footprint,
+                                  lease states, analytics ingest counters
     GET  /v1/scenarios            registered scenario names
     POST /v1/shutdown             {"drain": bool} — stop accepting and exit
 
@@ -231,6 +234,13 @@ class ScenarioServer:
         governs the daemon's own housekeeping: on startup replay, persisted
         results that fall outside the policy are pruned together with their
         checkpoint runs, so the state directory stops growing without bound.
+    analytics_dir:
+        Optional columnar-warehouse root
+        (:class:`~repro.analytics.warehouse.Warehouse`).  When set, every
+        successfully finished run is ingested as a post-run hook —
+        idempotently on (scenario, run id), so journal-replay re-executions
+        never double-count — and ``/v1/stats`` reports the warehouse
+        footprint alongside the daemon counters.
     owner:
         This daemon's run-ownership identity (defaults to
         ``serve:<hostname>:<pid>``).  Stamped into journal entries and into
@@ -250,6 +260,7 @@ class ScenarioServer:
                  checkpoint_every: Optional[int] = None,
                  max_retries: int = 1, keep: int = 0,
                  retention=None,
+                 analytics_dir=None,
                  mp_context=None,
                  owner: Optional[str] = None,
                  lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
@@ -286,6 +297,21 @@ class ScenarioServer:
         self.started_at = time.time()
         #: EWMA of finished-run wall time, the basis of Retry-After hints.
         self._avg_run_s: Optional[float] = None
+
+        #: Optional columnar warehouse every finished run is ingested into
+        #: (the post-run hook).  Ingestion is idempotent on (scenario,
+        #: run id), so journal-replay re-executions never double-count.
+        self.analytics = None
+        if analytics_dir is not None:
+            from repro.analytics.warehouse import Warehouse
+
+            self.analytics = Warehouse(analytics_dir)
+        #: Post-run ingest outcomes, surfaced by /v1/stats.
+        self._analytics_counts = {"ingested": 0, "skipped": 0, "errors": 0}
+        #: Warm-pool accounting: a submission into an already-started pool
+        #: is a warm hit; a cold one pays worker spawn + import cost.
+        self._pool_submissions = 0
+        self._pool_cold = 0
 
         self._queue_dir = self.root / "queue"
         self._results_dir = self.root / "results"
@@ -731,6 +757,7 @@ class ScenarioServer:
                 payload = self._payload(record)
                 self._inflight[run_id] = None
             # Submit outside the lock: the inline pool executes synchronously.
+            was_warm = self.pool.started
             try:
                 future = self.pool.submit(payload)
             except Exception as exc:  # raced a pool that just broke
@@ -741,6 +768,9 @@ class ScenarioServer:
                 future = Future()
                 future.set_exception(exc)
             with self._wake:
+                self._pool_submissions += 1
+                if not was_warm:
+                    self._pool_cold += 1
                 if run_id in self._inflight:
                     self._inflight[run_id] = future
             future.add_done_callback(
@@ -784,6 +814,7 @@ class ScenarioServer:
             )
             record.finished_at = time.time()
             self._persist_outcome(record, {"ok": outcome["ok"]})
+            self._ingest_analytics(record, outcome["ok"])
             with self._wake:
                 record.status = "done"
                 record.error = None
@@ -838,6 +869,25 @@ class ScenarioServer:
             self._avg_run_s = elapsed
         else:
             self._avg_run_s = 0.7 * self._avg_run_s + 0.3 * elapsed
+
+    def _ingest_analytics(self, record: RunRecord, result: Dict[str, Any],
+                          ) -> None:
+        """Post-run hook: ingest one finished result into the warehouse.
+
+        Runs outside _wake (ingestion writes chunk files) and never raises —
+        a warehouse hiccup must not turn a successful run into a failed one.
+        Idempotency lives in the warehouse itself: a retried/replayed run id
+        is skipped, not double-counted.
+        """
+        if self.analytics is None:
+            return
+        try:
+            report = self.analytics.ingest_result(result, run_id=record.run_id)
+            bucket = "ingested" if report["ingested"] else "skipped"
+        except Exception:  # noqa: BLE001 - observability must stay best-effort
+            bucket = "errors"
+        with self._wake:
+            self._analytics_counts[bucket] += 1
 
     # ------------------------------------------------------------------
     # Introspection (thread-safe snapshots)
@@ -906,6 +956,58 @@ class ScenarioServer:
                 "queue_size": self.queue_size,
                 "draining": self._stopping,
             }
+
+    def stats(self) -> Dict[str, Any]:
+        """Deep observability snapshot (the ``/v1/stats`` endpoint).
+
+        ``health()`` answers "is the daemon up"; this answers "how is it
+        doing": queue depth, EWMA run time, warm-pool hit rate, the state
+        root's on-disk footprint (journal, results, checkpoint bytes, lease
+        states) and the analytics warehouse's ingest counters.  The disk
+        scan runs outside _wake — it is I/O, and health polls must not
+        queue behind it.
+        """
+        from repro.analytics.stats import store_stats, warehouse_stats
+
+        with self._wake:
+            statuses = [record.status for record in self._records.values()]
+            submissions = self._pool_submissions
+            hit_rate = (
+                1.0 - self._pool_cold / submissions if submissions else None
+            )
+            daemon = {
+                "ok": True,
+                "pid": os.getpid(),
+                "owner": self.owner,
+                "uptime_s": time.time() - self.started_at,
+                "queued": statuses.count("queued"),
+                "running": statuses.count("running"),
+                "done": statuses.count("done"),
+                "failed": statuses.count("failed"),
+                "queue_depth": len(self._queue),
+                "inflight": len(self._inflight),
+                "queue_size": self.queue_size,
+                "avg_run_s": self._avg_run_s,
+                "retention": self.retention_spec,
+                "lease_ttl": self.lease_ttl,
+                "draining": self._stopping,
+                "pool": {
+                    "workers": self.pool.workers,
+                    "started": self.pool.started,
+                    "generations": self.pool.generations,
+                    "submissions": submissions,
+                    "cold": self._pool_cold,
+                    "warm_hit_rate": hit_rate,
+                },
+                "analytics_counts": dict(self._analytics_counts),
+            }
+        snapshot: Dict[str, Any] = {
+            "daemon": daemon,
+            "store": store_stats(self.root),
+        }
+        if self.analytics is not None:
+            snapshot["analytics"] = warehouse_stats(self.analytics)
+        return snapshot
 
     def iter_events(self, run_id: str, from_step: int = 0,
                     poll: float = _POLL_S) -> Iterator[Dict[str, Any]]:
@@ -1094,6 +1196,8 @@ def _make_handler(daemon: ScenarioServer):
         def _route_get(self, parts: List[str], query) -> None:
             if parts == ["health"]:
                 return self._send_json(daemon.health())
+            if parts == ["stats"]:
+                return self._send_json(daemon.stats())
             if parts == ["scenarios"]:
                 return self._send_json(
                     {"scenarios": default_registry().names()}

@@ -19,29 +19,18 @@ tree gets told which manifest is bad, never a traceback.
 
 from __future__ import annotations
 
-import functools
 import json
-import sys
 from typing import Optional
 
 from repro.store.errors import CheckpointError
 from repro.store.migrate import compact_tree, migrate_tree, verify_run
 from repro.store.retention import parse_retention
 from repro.store.runstore import RunStore
+from repro.utils.cliutil import subcommand_errors
 
-
-def _store_errors(command):
-    """Turn storage faults into a one-line stderr diagnostic and exit 2."""
-
-    @functools.wraps(command)
-    def wrapper(*args, **kwargs) -> int:
-        try:
-            return command(*args, **kwargs)
-        except (CheckpointError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-
-    return wrapper
+#: Storage faults become one-line stderr diagnostics and exit 2 — the same
+#: error path the analytics CLI uses (repro.utils.cliutil).
+_store_errors = subcommand_errors(CheckpointError, ValueError)
 
 
 def _human_bytes(count) -> str:

@@ -1,0 +1,623 @@
+"""The columnar analytics warehouse: ingest, query, regress, stats, CLI.
+
+The load-bearing properties:
+
+* **Round trip** (hypothesis): ingesting generated runs and querying them
+  back agrees exactly with a pandas-free in-memory reference over the raw
+  dicts — filters, projections and group-aggregates alike.
+* **Idempotency**: re-ingesting any (scenario, run id) — or re-running a
+  whole backfill — changes nothing; journal-replay re-runs never
+  double-count.
+* **Crash windows**: an injected fault (raise mode, in-process) between the
+  chunk write and the manifest commit leaves the warehouse readable and the
+  interrupted ingest invisible; the orphan chunk sweeps away.
+* **Regression gates**: a perturbed conserved series trips
+  ``conservation_violations`` / ``repro analytics regress`` (exit 1) at the
+  right tier and not below it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.analytics import (
+    AGGREGATES, AnalyticsError, TOLERANCE_TIERS, Warehouse, backfill,
+    bench_trajectory, classify, cohort_violations, conservation_violations,
+    parse_predicate,
+)
+from repro.analytics.cli import (
+    cmd_bench, cmd_dashboard, cmd_ingest, cmd_query, cmd_regress, cmd_summary,
+)
+from repro.analytics.columns import Table, concat_columns, flatten
+from repro.analytics.chunk import column_stats, stats_may_match
+from repro.analytics.ingest import content_id, derive_run_id
+from repro.analytics.stats import render_dashboard, store_stats
+
+
+def make_result(scenario="demo", engine="reference", n=4, base=1.0,
+                run_id=None, drift=0.0, seed_param=7):
+    """One synthetic RunResult dict with a conserved 'energy' series."""
+    times = [0.25 * i for i in range(n)]
+    energy = [base + drift * i for i in range(n)]
+    result = {
+        "scenario": scenario,
+        "engine": engine,
+        "times": times,
+        "observables": {
+            "energy": energy,
+            "norm": [1.0] * n,
+            "positions": [[[0.1 * i, 1.0 + 0.1 * i]] for i in range(n)],
+        },
+        "metadata": {
+            "spec": {"name": scenario, "engine": engine,
+                     "seed": seed_param,
+                     "runtime": {"num_steps": n, "dt": 0.25},
+                     "pulse": {"polarization": [0.0, 0.0, 1.0]}},
+        },
+    }
+    if run_id is not None:
+        result["metadata"]["executor"] = {"run_id": run_id}
+    return result
+
+
+# ----------------------------------------------------------------------
+# Column primitives
+# ----------------------------------------------------------------------
+class TestColumns:
+    def test_flatten_dotted_paths_and_list_leaves(self):
+        flat = flatten({"a": {"b": 1, "c": {"d": "x"}}, "e": [1, 2]})
+        assert flat == {"a.b": 1, "a.c.d": "x", "e": [1, 2]}
+
+    def test_table_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_concat_fills_missing_and_promotes_mixed(self):
+        merged = concat_columns([
+            {"x": np.asarray([1.0]), "s": np.asarray(["a"])},
+            {"x": np.asarray([2.0]), "extra": np.asarray([3.0])},
+        ])
+        assert merged.num_rows == 2
+        assert math.isnan(merged.column("extra")[0])
+        assert merged.column("s")[1] == ""
+        mixed = concat_columns([
+            {"v": np.asarray([1.0])},
+            {"v": np.asarray(["oops"])},
+        ])
+        assert mixed.column("v").dtype.kind == "U"
+        assert mixed.column("v")[0] == "1.0"
+
+    def test_pushdown_stats(self):
+        table = Table({"t": [0.0, 1.0, 2.0], "engine": ["a", "a", "b"]})
+        stats = column_stats(table)
+        assert stats["t"] == {"kind": "number", "min": 0.0, "max": 2.0}
+        assert stats["engine"]["values"] == ["a", "b"]
+        assert stats_may_match(stats["t"], ">", 1.5)
+        assert not stats_may_match(stats["t"], ">", 2.0)
+        assert not stats_may_match(stats["engine"], "==", "c")
+        assert stats_may_match(None, "==", 1)  # unknown column: permissive
+        all_nan = column_stats(Table({"v": [float("nan")]}))["v"]
+        assert not stats_may_match(all_nan, "<", 5.0)
+
+
+# ----------------------------------------------------------------------
+# Warehouse core: ingest / idempotency / reading
+# ----------------------------------------------------------------------
+class TestWarehouse:
+    def test_ingest_and_read_back(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        report = wh.ingest_result(make_result(run_id="r0"))
+        assert report["ingested"] == ["r0"]
+        assert wh.partitions() == ["demo"]
+        assert wh.run_ids("demo") == ["r0"]
+        series = wh.query("demo").table()
+        assert series.num_rows == 4
+        np.testing.assert_allclose(series.column("t"),
+                                   [0.0, 0.25, 0.5, 0.75])
+        # Non-scalar observables become per-record reductions, not columns
+        # per component.
+        assert "positions.l2" in series.column_names
+        assert "positions" not in series.column_names
+        runs = wh.query("demo", table="runs").table()
+        assert runs.num_rows == 1
+        assert runs.column("param.runtime.dt")[0] == 0.25
+        assert runs.column("param.pulse.polarization")[0] == "[0.0, 0.0, 1.0]"
+        assert runs.column("obs.energy.final")[0] == 1.0
+
+    def test_reingest_same_run_id_is_skipped(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0"))
+        before = wh.query("demo").count()
+        report = wh.ingest_result(make_result(run_id="r0"))
+        assert report["ingested"] == [] and report["skipped"] == ["r0"]
+        assert wh.query("demo").count() == before
+        manifest = wh.read_manifest("demo")
+        assert len(manifest["chunks"]) == 1  # nothing was even written
+
+    def test_run_id_from_executor_metadata_and_explicit_override(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        report = wh.ingest_result(make_result(run_id="stamped"))
+        assert report["run_id"] == "stamped"
+        with pytest.raises(AnalyticsError, match="no run id"):
+            wh.ingest_result(make_result())
+        report = wh.ingest_result(make_result(), run_id="explicit")
+        assert report["run_id"] == "explicit"
+
+    def test_mismatched_series_length_is_typed(self, tmp_path):
+        bad = make_result(run_id="r0")
+        bad["observables"]["energy"] = [1.0]
+        with pytest.raises(AnalyticsError, match="records"):
+            Warehouse(tmp_path).ingest_result(bad)
+
+    def test_corrupt_manifest_is_typed(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0"))
+        (tmp_path / "demo" / "PARTITION.json").write_text("{not json")
+        with pytest.raises(AnalyticsError, match="corrupt"):
+            wh.read_manifest("demo")
+
+    def test_sweep_removes_only_orphans(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0"))
+        orphan = tmp_path / "demo" / "chunk-000099.npz"
+        orphan.write_bytes(b"garbage")
+        report = wh.sweep()
+        assert report["removed"] == ["demo/chunk-000099.npz"]
+        assert not orphan.exists()
+        assert wh.query("demo").count() == 4  # committed data untouched
+
+    def test_bench_ingest_idempotent_on_doc_id(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        doc = {"schema": "repro-bench/1", "bench": "b",
+               "payload": {"rate": 10.0}}
+        doc_id = content_id(doc)
+        assert wh.ingest_bench(doc, doc_id)["ingested"] == [doc_id]
+        assert wh.ingest_bench(doc, doc_id)["ingested"] == []
+        assert wh.query("_bench").count() == 1
+
+
+# ----------------------------------------------------------------------
+# Crash windows (raise-mode, in-process; the subprocess kill matrix lives
+# in test_faults.py)
+# ----------------------------------------------------------------------
+class TestCrashWindows:
+    @pytest.fixture(autouse=True)
+    def disarm(self):
+        faults.reset()
+        yield
+        faults.reset()
+
+    @pytest.mark.parametrize("point", [
+        "analytics.chunk.pre_write",
+        "analytics.manifest.pre_write",
+        "analytics.manifest.pre_rename",
+    ])
+    def test_fault_before_commit_leaves_ingest_invisible(self, tmp_path, point):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0"))
+        faults.configure(f"{point}=raise")
+        with pytest.raises(faults.InjectedFault):
+            wh.ingest_result(make_result(run_id="r1"))
+        faults.reset()
+        # The interrupted ingest never happened: manifest still names one
+        # run, the partition still reads cleanly.
+        assert wh.run_ids("demo") == ["r0"]
+        assert wh.query("demo").count() == 4
+        # Re-ingest completes and converges.
+        wh.ingest_result(make_result(run_id="r1"))
+        assert wh.run_ids("demo") == ["r0", "r1"]
+        assert wh.query("demo").count() == 8
+        # At most one orphan chunk can remain; sweep clears it.
+        wh.sweep()
+        committed = {e["file"] for e in wh.read_manifest("demo")["chunks"]}
+        on_disk = {p.name for p in (tmp_path / "demo").glob("chunk-*.npz")}
+        assert on_disk == committed
+
+    def test_fault_after_commit_is_durable_and_skip_on_retry(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        faults.configure("analytics.manifest.post_commit=raise")
+        with pytest.raises(faults.InjectedFault):
+            wh.ingest_result(make_result(run_id="r0"))
+        faults.reset()
+        # The commit landed before the fault: the run is durable, and the
+        # caller's retry must detect it and skip.
+        assert wh.run_ids("demo") == ["r0"]
+        report = wh.ingest_result(make_result(run_id="r0"))
+        assert report["skipped"] == ["r0"]
+
+
+# ----------------------------------------------------------------------
+# Query layer vs an in-memory reference (hypothesis round trip)
+# ----------------------------------------------------------------------
+def _reference_rows(results):
+    """The pandas-free reference: raw per-record row dicts."""
+    rows = []
+    for run_id, result in results:
+        for i, t in enumerate(result["times"]):
+            rows.append({
+                "run_id": run_id,
+                "t": float(t),
+                "energy": float(result["observables"]["energy"][i]),
+                "norm": float(result["observables"]["norm"][i]),
+            })
+    return rows
+
+
+runs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=6),      # records
+        st.floats(min_value=-10, max_value=10),     # energy base
+        st.sampled_from(["reference", "optimized"]),
+    ),
+    min_size=1, max_size=5,
+)
+
+
+class TestQueryRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=runs_strategy, threshold=st.floats(min_value=-10,
+                                                    max_value=10))
+    def test_ingest_then_query_matches_reference(self, tmp_path_factory,
+                                                 shape, threshold):
+        tmp_path = tmp_path_factory.mktemp("wh")
+        wh = Warehouse(tmp_path)
+        results = []
+        for i, (n, base, engine) in enumerate(shape):
+            run_id = f"r{i}"
+            result = make_result(n=n, base=base, engine=engine,
+                                 run_id=run_id)
+            results.append((run_id, result))
+            wh.ingest_result(result)
+
+        reference = _reference_rows(results)
+
+        # Unfiltered row count.
+        assert wh.query("demo").count() == len(reference)
+
+        # Filtered + projected rows agree exactly (order-insensitive).
+        got = wh.query("demo").where("energy", ">", threshold) \
+            .select("run_id", "t", "energy").rows()
+        want = [
+            {"run_id": r["run_id"], "t": r["t"], "energy": r["energy"]}
+            for r in reference if r["energy"] > threshold
+        ]
+        key = lambda r: (r["run_id"], r["t"])  # noqa: E731
+        assert sorted(got, key=key) == sorted(want, key=key)
+
+        # Group-aggregate agrees with a hand-rolled reduction.
+        agg = wh.query("demo").aggregate(
+            ["run_id"], [("count", "t"), ("mean", "energy"),
+                         ("max", "norm")],
+        )
+        by_run = {}
+        for row in reference:
+            by_run.setdefault(row["run_id"], []).append(row)
+        assert sorted(agg.column("run_id").tolist()) == sorted(by_run)
+        for i, run_id in enumerate(agg.column("run_id").tolist()):
+            rows = by_run[run_id]
+            assert agg.column("count(t)")[i] == len(rows)
+            assert np.isclose(
+                agg.column("mean(energy)")[i],
+                sum(r["energy"] for r in rows) / len(rows),
+            )
+            assert agg.column("max(norm)")[i] == 1.0
+
+    def test_pushdown_skips_chunks_without_changing_answers(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0", base=1.0))
+        wh.ingest_result(make_result(run_id="r1", base=100.0))
+        opened = []
+        original = wh.load_table
+
+        def counting(partition, table, chunk_filter=None):
+            def spy(entry):
+                keep = chunk_filter(entry) if chunk_filter else True
+                if keep:
+                    opened.append(entry["file"])
+                return keep
+            return original(partition, table, chunk_filter=spy)
+
+        wh.load_table = counting
+        rows = wh.query("demo").where("energy", ">", 50.0).rows()
+        assert {r["run_id"] for r in rows} == {"r1"}
+        assert len(opened) == 1  # r0's chunk was pruned by manifest stats
+
+    def test_parse_predicate_shapes(self):
+        assert parse_predicate("engine==reference") == \
+            ("engine", "==", "reference")
+        assert parse_predicate("t>=1.5") == ("t", ">=", 1.5)
+        assert parse_predicate("obs.energy.mean<1e-3") == \
+            ("obs.energy.mean", "<", 1e-3)
+        with pytest.raises(ValueError, match="predicate"):
+            parse_predicate("no-operator-here")
+
+    def test_unknown_aggregate_and_column_are_typed(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="r0"))
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            wh.query("demo").aggregate([], [("median", "t")])
+        with pytest.raises(KeyError, match="unknown column"):
+            wh.query("demo").where("nope", ">", 1).rows()
+        with pytest.raises(AnalyticsError, match="unknown partition"):
+            wh.query("missing").count()
+        assert sorted(AGGREGATES) == ["count", "first", "last", "max",
+                                      "mean", "min", "std", "sum"]
+
+
+# ----------------------------------------------------------------------
+# Backfill ingestion
+# ----------------------------------------------------------------------
+class TestBackfill:
+    def test_classify_shapes(self):
+        assert classify(make_result()) == "result"
+        assert classify({"run_id": "r0", "ok": make_result()}) == "outcome"
+        assert classify({"failure": {"error": "boom"}}) == "failure"
+        assert classify({"schema": "repro-bench/1", "bench": "b",
+                         "payload": {}}) == "bench"
+        assert classify({"anything": "else"}) == "unknown"
+        assert classify([1, 2]) == "unknown"
+
+    def test_derive_run_id_priority(self):
+        result = make_result(run_id="from-executor")
+        assert derive_run_id(result) == "from-executor"
+        assert derive_run_id(result, {"run_id": "from-wrapper"}) \
+            == "from-wrapper"
+        bare = make_result()
+        assert derive_run_id(bare).startswith("sha-")
+        assert derive_run_id(bare) == derive_run_id(make_result())
+
+    def test_backfill_scans_dirs_and_is_idempotent(self, tmp_path):
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        # A serve-style wrapper, a bare result, a batch array, a failure,
+        # a bench doc and an unrelated JSON file.
+        (results_dir / "r0.json").write_text(json.dumps(
+            {"run_id": "r0", "finished_at": 1.0, "ok": make_result()}))
+        (results_dir / "bare.json").write_text(json.dumps(
+            make_result(scenario="other", run_id="r1")))
+        (results_dir / "batch.json").write_text(json.dumps(
+            [make_result(run_id="r2"), {"failure": {"error": "boom"}}]))
+        (results_dir / "bench.ndjson").write_text(json.dumps(
+            {"schema": "repro-bench/1", "bench": "b", "ts": 5.0,
+             "payload": {"rate": 2.0}}) + "\n\nnot json\n")
+        (results_dir / "stray.json").write_text('{"just": "config"}')
+
+        wh = Warehouse(tmp_path / "wh")
+        report = backfill(wh, [results_dir])
+        assert report["ingested"] == 4   # r0, r1, r2, bench doc
+        assert report["failures"] == 1
+        assert report["unknown"] == 1
+        assert report["errors"] == []
+        assert wh.run_ids("demo") == ["r0", "r2"]
+        assert wh.run_ids("other") == ["r1"]
+        assert wh.query("_bench").count() == 1
+
+        again = backfill(wh, [results_dir])
+        assert again["ingested"] == 0
+        assert again["skipped"] == 4
+        assert wh.query("demo").count() == 8  # unchanged
+
+    def test_backfill_missing_path_is_typed(self, tmp_path):
+        with pytest.raises(AnalyticsError, match="no such file"):
+            backfill(Warehouse(tmp_path), [tmp_path / "nope"])
+
+
+# ----------------------------------------------------------------------
+# Regression queries
+# ----------------------------------------------------------------------
+class TestRegress:
+    def test_tiers_are_the_single_source(self):
+        # The golden suite imports these; keep the vocabulary stable.
+        assert set(TOLERANCE_TIERS) == {"exact", "standard", "loose"}
+        assert TOLERANCE_TIERS["standard"]["rtol"] == 1e-6
+
+    def test_conservation_flags_only_drifting_runs(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        wh.ingest_result(make_result(run_id="good", drift=0.0))
+        wh.ingest_result(make_result(run_id="bad", drift=1e-3))
+        violations = conservation_violations(wh, "demo", "energy",
+                                             tier="standard")
+        assert [v["run_id"] for v in violations] == ["bad"]
+        worst = violations[0]
+        assert worst["worst_drift"] == pytest.approx(3e-3)
+        assert worst["worst_row"] == 3
+        # The loose tier absorbs it.
+        assert conservation_violations(wh, "demo", "energy",
+                                       tier="loose") == []
+
+    def test_conservation_flags_nan(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        bad = make_result(run_id="nan-run")
+        bad["observables"]["energy"][2] = float("nan")
+        wh.ingest_result(bad)
+        violations = conservation_violations(wh, "demo", "energy",
+                                             tier="loose")
+        assert [v["run_id"] for v in violations] == ["nan-run"]
+
+    def test_cohort_flags_the_outlier_against_its_engine_peers(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for i in range(4):
+            wh.ingest_result(make_result(run_id=f"ref{i}", base=1.0))
+        wh.ingest_result(make_result(run_id="outlier", base=2.0))
+        # Same engine cohort of 5: the outlier's mean energy is far from the
+        # median.
+        violations = cohort_violations(wh, "demo", "obs.energy.mean",
+                                       tier="standard")
+        assert [v["run_id"] for v in violations] == ["outlier"]
+        assert violations[0]["cohort"] == {"engine": "reference"}
+        # Cohorts under 3 runs are skipped entirely.
+        wh2 = Warehouse(tmp_path / "small")
+        wh2.ingest_result(make_result(run_id="a", base=1.0))
+        wh2.ingest_result(make_result(run_id="b", base=99.0))
+        assert cohort_violations(wh2, "demo", "obs.energy.mean") == []
+
+    def test_unknown_tier_is_typed(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        with pytest.raises(ValueError, match="tier"):
+            conservation_violations(wh, "demo", "energy", tier="super")
+
+    def test_bench_trajectory_orders_by_ts(self, tmp_path):
+        wh = Warehouse(tmp_path)
+        for ts, rate in ((3.0, 30.0), (1.0, 10.0), (2.0, 20.0)):
+            doc = {"schema": "repro-bench/1", "bench": "b", "ts": ts,
+                   "payload": {"rate": rate}}
+            wh.ingest_bench(doc, content_id(doc), ts=ts)
+        rows = bench_trajectory(wh)
+        assert len(rows) == 1
+        assert rows[0]["values"] == [10.0, 20.0, 30.0]
+        assert rows[0]["latest"] == 30.0 and rows[0]["best"] == 10.0
+        assert bench_trajectory(Warehouse(tmp_path / "empty")) == []
+
+
+# ----------------------------------------------------------------------
+# CLI commands (driven directly; the argparse wiring is in test_cli.py)
+# ----------------------------------------------------------------------
+class TestAnalyticsCli:
+    def _seed(self, tmp_path, drift=0.0):
+        results = tmp_path / "results"
+        results.mkdir(parents=True, exist_ok=True)
+        for i in range(3):
+            (results / f"r{i}.json").write_text(json.dumps(
+                {"run_id": f"r{i}", "ok": make_result(run_id=f"r{i}",
+                                                      drift=drift)}))
+        return results
+
+    def test_ingest_then_summary_and_query(self, tmp_path, capsys):
+        results = self._seed(tmp_path)
+        wh_root = tmp_path / "wh"
+        assert cmd_ingest(wh_root, [results]) == 0
+        assert "3 ingested" in capsys.readouterr().out
+        assert cmd_summary(wh_root) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "3 runs" in out
+        assert cmd_query(wh_root, "demo", table="runs",
+                         aggregates=["count:run_id"],
+                         group_by=["engine"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "3" in out
+
+    def test_query_json_and_predicates(self, tmp_path, capsys):
+        cmd_ingest(tmp_path / "wh", [self._seed(tmp_path)])
+        capsys.readouterr()
+        assert cmd_query(tmp_path / "wh", "demo", where=["t>=0.5"],
+                         select=["run_id", "t"], as_json=True) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 6  # 2 of 4 records x 3 runs
+        assert sorted(payload["columns"]) == ["run_id", "t"]
+
+    def test_regress_gate_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        cmd_ingest(clean / "wh", [self._seed(clean)])
+        assert cmd_regress(clean / "wh", "demo", series=["energy"],
+                           tier="standard") == 0
+        assert "ok:" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty"
+        cmd_ingest(dirty / "wh", [self._seed(dirty, drift=1e-2)])
+        capsys.readouterr()
+        assert cmd_regress(dirty / "wh", "demo", series=["energy"],
+                           tier="standard") == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # Usage errors are 2 via the shared decorator.
+        assert cmd_regress(dirty / "wh", "demo") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_and_dashboard(self, tmp_path, capsys):
+        wh_root = tmp_path / "wh"
+        wh = Warehouse(wh_root)
+        doc = {"schema": "repro-bench/1", "bench": "bench_store",
+               "payload": {"writes_per_s": 42.0}}
+        wh.ingest_bench(doc, content_id(doc), ts=1.0)
+        assert cmd_bench(wh_root) == 0
+        out = capsys.readouterr().out
+        assert "bench_store :: writes_per_s" in out and "42" in out
+
+        serve_root = tmp_path / "serve"
+        (serve_root / "results").mkdir(parents=True)
+        (serve_root / "results" / "r0.json").write_text("{}")
+        assert cmd_dashboard(serve_root=serve_root,
+                             warehouse_root=wh_root) == 0
+        out = capsys.readouterr().out
+        assert "store" in out and "analytics" in out
+        assert cmd_dashboard(serve_root=serve_root, as_json=True) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["store"]["results"]["count"] == 1
+        assert cmd_dashboard() == 2  # nothing to report on
+
+    def test_corrupt_warehouse_is_exit_2(self, tmp_path, capsys):
+        wh = Warehouse(tmp_path / "wh")
+        wh.ingest_result(make_result(run_id="r0"))
+        (tmp_path / "wh" / "demo" / "PARTITION.json").write_text("{broken")
+        assert cmd_summary(tmp_path / "wh") == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Stats plumbing
+# ----------------------------------------------------------------------
+class TestStats:
+    def test_store_stats_counts_serve_artifacts(self, tmp_path):
+        (tmp_path / "queue").mkdir()
+        (tmp_path / "results").mkdir()
+        (tmp_path / "queue" / "a.json").write_text("{}")
+        (tmp_path / "results" / "a.json").write_text('{"ok": {}}')
+        stats = store_stats(tmp_path)
+        assert stats["journal"]["count"] == 1
+        assert stats["results"]["count"] == 1
+        assert stats["leases"] == {"live": 0, "stale": 0, "none": 0}
+
+    def test_render_dashboard_covers_all_sections(self):
+        text = render_dashboard({
+            "daemon": {"owner": "me", "uptime_s": 1.0, "queued": 0,
+                       "running": 1, "done": 2, "failed": 0,
+                       "queue_depth": 0, "queue_size": 64,
+                       "avg_run_s": 0.5,
+                       "pool": {"workers": 2, "generations": 1,
+                                "submissions": 4, "warm_hit_rate": 0.75}},
+            "store": {"root": "/x", "journal": {"count": 1},
+                      "results": {"count": 2, "bytes": 10},
+                      "checkpoints": {"runs": 3, "bytes": 2048},
+                      "leases": {"live": 1, "stale": 0, "none": 2}},
+            "analytics": {"root": "/w", "partitions": 1, "runs": 3,
+                          "chunks": 3, "bytes": 4096,
+                          "by_partition": [{"partition": "demo", "runs": 3,
+                                            "chunks": 3, "bytes": 4096}]},
+        })
+        assert "warm-pool hit rate" in text and "75%" in text
+        assert "leases live / stale / none" in text and "1 / 0 / 2" in text
+        assert "demo" in text
+        assert render_dashboard({}) == "(no stats sections available)"
+
+
+# ----------------------------------------------------------------------
+# Benchmarks history satellite
+# ----------------------------------------------------------------------
+class TestBenchHistory:
+    def test_finish_appends_history_line(self, tmp_path, monkeypatch, capsys):
+        import importlib
+        import benchmarks.common as common
+
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(common, "HISTORY_PATH",
+                            tmp_path / "history.ndjson")
+        common.finish("bench_x", {"metric": 1.0}, argv=[])
+        common.finish("bench_x", {"metric": 2.0}, argv=[])
+        lines = (tmp_path / "history.ndjson").read_text().splitlines()
+        assert len(lines) == 2
+        docs = [json.loads(line) for line in lines]
+        assert all(d["schema"] == "repro-bench/1" for d in docs)
+        assert all("ts" in d for d in docs)
+        assert [d["payload"]["metric"] for d in docs] == [1.0, 2.0]
+        # The history is ingestible: two invocations = two bench rows.
+        wh = Warehouse(tmp_path / "wh")
+        report = backfill(wh, [tmp_path / "history.ndjson"])
+        assert report["ingested"] == 2
+        assert wh.query("_bench").count() == 2

@@ -221,7 +221,96 @@ def test_client_commands_without_daemon_fail_cleanly():
     # Port 1 is never listening; every client subcommand must exit 3 with
     # the daemon address in the message, not hang or traceback.
     for argv in (["submit", "md-nve"], ["status"], ["fetch", "r000000"],
-                 ["shutdown"]):
+                 ["shutdown"], ["analytics", "dashboard", "--live"]):
         proc = run_cli(*argv, "--port", "1")
         assert proc.returncode == 3, (argv, proc.stderr)
         assert "no repro daemon reachable" in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# repro analytics: argparse wiring (the engine itself is test_analytics.py)
+# ----------------------------------------------------------------------
+def test_analytics_ingest_query_regress_wiring(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    out = results / "run.json"
+    seeded = run_cli("run", "maxwell-vacuum", "--steps", "3", "--quiet",
+                     "--run-id", "cli-a", "--json", str(out))
+    assert seeded.returncode == 0, seeded.stderr
+    warehouse = tmp_path / "wh"
+
+    ingest = run_cli("analytics", "ingest", str(warehouse), str(results))
+    assert ingest.returncode == 0, ingest.stderr
+    assert "1 ingested" in ingest.stdout
+    again = run_cli("analytics", "ingest", str(warehouse), str(results))
+    assert again.returncode == 0 and "1 skipped" in again.stdout
+
+    summary = run_cli("analytics", "summary", str(warehouse))
+    assert summary.returncode == 0, summary.stderr
+    assert "maxwell-vacuum" in summary.stdout
+
+    query = run_cli("analytics", "query", str(warehouse), "maxwell-vacuum",
+                    "--table", "runs", "--select", "run_id",
+                    "--select", "engine", "--json")
+    assert query.returncode == 0, query.stderr
+    payload = json.loads(query.stdout)
+    assert payload["rows"] == 1
+    assert payload["columns"]["run_id"] == ["cli-a"]
+
+    # field_energy is NOT conserved in maxwell-vacuum (the pulse injects
+    # energy): the conservation gate must trip with the documented exit 1.
+    gate = run_cli("analytics", "regress", str(warehouse), "maxwell-vacuum",
+                   "--series", "field_energy", "--tier", "loose")
+    assert gate.returncode == 1, (gate.stdout, gate.stderr)
+    assert "REGRESSION" in gate.stdout
+
+    # A cohort check over a single run has nothing to compare: exit 0.
+    ok = run_cli("analytics", "regress", str(warehouse), "maxwell-vacuum",
+                 "--cohort", "final_time")
+    assert ok.returncode == 0, ok.stderr
+    assert "ok:" in ok.stdout
+
+
+def test_analytics_usage_errors_exit_2(tmp_path):
+    # Unknown warehouse/partition and missing-mode regress: exit 2 with one
+    # error: line via the shared subcommand_errors helper, never a traceback.
+    missing = run_cli("analytics", "query", str(tmp_path / "nope"), "demo")
+    assert missing.returncode == 2
+    assert missing.stderr.startswith("error:")
+    assert "Traceback" not in missing.stderr
+
+    no_mode = run_cli("analytics", "regress", str(tmp_path / "wh2"), "demo")
+    assert no_mode.returncode == 2
+    assert "error:" in no_mode.stderr
+
+    bad_pred = run_cli("analytics", "query", str(tmp_path / "wh2"), "demo",
+                       "--where", "energy~~5")
+    assert bad_pred.returncode == 2
+    assert "cannot parse predicate" in bad_pred.stderr
+
+
+# ----------------------------------------------------------------------
+# --json consistency: bare --json means stdout on every subcommand
+# ----------------------------------------------------------------------
+def test_status_and_fetch_bare_json_goes_to_stdout(tmp_path, capsys):
+    from repro.api import ScenarioServer, ServeClient
+
+    with ScenarioServer(tmp_path / "state", port=0, workers=0) as daemon:
+        client = ServeClient(port=daemon.port, timeout=30.0)
+        run_id = client.submit("maxwell-vacuum",
+                               overrides={"runtime.num_steps": 3})["run_id"]
+        assert client.wait(run_id, timeout=60).ok
+        port = str(daemon.port)
+
+        assert main(["status", "--port", port, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["run_id"] == run_id
+
+        assert main(["fetch", run_id, "--port", port, "--json"]) == 0
+        result = RunResult.from_dict(json.loads(capsys.readouterr().out))
+        assert result.scenario == "maxwell-vacuum"
+
+        assert main(["run", "maxwell-vacuum", "--steps", "2", "--quiet",
+                     "--json"]) == 0
+        inline = json.loads(capsys.readouterr().out)
+        assert inline["scenario"] == "maxwell-vacuum"

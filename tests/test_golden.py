@@ -71,15 +71,10 @@ def _array_digest(array: np.ndarray) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Tolerance tiers (the cross-environment fallback)
 # ----------------------------------------------------------------------
-#: rtol/atol per tier.  ``exact`` is for integer-valued or analytically
-#: pinned series; ``standard`` absorbs reordered-reduction noise (different
-#: SIMD/BLAS builds); ``loose`` is for trajectories that amplify roundoff
-#: (chaotic MD, surface hopping, thermostatted dynamics).
-TOLERANCE_TIERS: Dict[str, Dict[str, float]] = {
-    "exact": {"rtol": 0.0, "atol": 0.0},
-    "standard": {"rtol": 1e-6, "atol": 1e-9},
-    "loose": {"rtol": 1e-2, "atol": 1e-5},
-}
+#: rtol/atol per tier.  Single-sourced from the analytics subsystem so the
+#: golden suite and the ``repro analytics regress`` CI gate can never
+#: disagree about what ``standard`` means.
+from repro.analytics.regress import TOLERANCE_TIERS  # noqa: E402
 
 #: Tier overrides per ``(scenario, series)``; ``(scenario, "*")`` covers all
 #: series of one scenario; anything unlisted uses ``standard``.  ``times``

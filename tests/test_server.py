@@ -433,6 +433,68 @@ class TestProtocol:
             assert_results_bit_identical(before, after)
 
 
+class TestStatsEndpoint:
+    """``GET /v1/stats``: the deep observability snapshot."""
+
+    def test_stats_sections_and_shape(self, client):
+        stats = client.stats()
+        daemon, store = stats["daemon"], stats["store"]
+        assert daemon["ok"] is True
+        assert daemon["pid"] and daemon["owner"]
+        assert daemon["uptime_s"] >= 0
+        for key in ("queued", "running", "done", "failed",
+                    "queue_depth", "inflight", "queue_size"):
+            assert isinstance(daemon[key], int), key
+        pool = daemon["pool"]
+        assert pool["workers"] == 0
+        assert pool["submissions"] == 0 and pool["warm_hit_rate"] is None
+        assert daemon["analytics_counts"] == {
+            "ingested": 0, "skipped": 0, "errors": 0,
+        }
+        for key in ("journal", "results", "checkpoints", "leases"):
+            assert key in store, key
+        assert store["leases"] == {"live": 0, "stale": 0, "none": 0}
+        # No --analytics flag on this daemon: no analytics section at all.
+        assert "analytics" not in stats
+
+    def test_stats_track_runs_and_store_growth(self, client):
+        before = client.stats()
+        run_id = client.submit(smoke_spec("maxwell-vacuum"),
+                               checkpoint_every=2)["run_id"]
+        assert client.wait(run_id, timeout=60).ok
+        after = client.stats()
+        assert after["daemon"]["done"] == before["daemon"]["done"] + 1
+        assert after["daemon"]["avg_run_s"] is not None
+        assert after["store"]["results"]["count"] == \
+            before["store"]["results"]["count"] + 1
+        assert after["store"]["checkpoints"]["runs"] >= 1
+        assert after["store"]["checkpoints"]["bytes"] > 0
+
+    def test_stats_report_analytics_ingestion(self, tmp_path):
+        from repro.analytics import Warehouse
+
+        root = tmp_path / "state"
+        daemon = ScenarioServer(root, port=0, workers=0,
+                                analytics_dir=root / "warehouse")
+        daemon.start()
+        try:
+            client = ServeClient(port=daemon.port, timeout=30.0)
+            spec = smoke_spec("maxwell-vacuum", num_steps=4)
+            assert client.wait(client.submit(spec)["run_id"], timeout=60).ok
+            stats = client.stats()
+            assert stats["daemon"]["analytics_counts"]["ingested"] == 1
+            assert stats["daemon"]["analytics_counts"]["errors"] == 0
+            analytics = stats["analytics"]
+            assert analytics["partitions"] == 1 and analytics["runs"] == 1
+            assert analytics["by_partition"][0]["partition"] == spec.name
+            # The warehouse on disk really holds the run the counter claims.
+            wh = Warehouse(root / "warehouse")
+            assert len(wh.run_ids(spec.name)) == 1
+            assert wh.query(spec.name, table="runs").count() == 1
+        finally:
+            daemon.stop(drain=True)
+
+
 class TestServerValidation:
     def test_constructor_rejects_bad_args(self, tmp_path):
         with pytest.raises(ValueError):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.utils.cliutil import subcommand_errors
 from repro.utils import (
     default_rng,
     ensure_array,
@@ -102,3 +103,54 @@ class TestMathUtils:
     def test_soft_clip_identity_for_small_values(self):
         values = np.array([0.01, -0.02])
         assert np.allclose(soft_clip(values, 10.0), values, atol=1e-5)
+
+
+class TestSubcommandErrors:
+    """The one shared CLI error path (``repro store``/``repro analytics``)."""
+
+    def test_declared_exception_becomes_exit_code_and_stderr(self, capsys):
+        @subcommand_errors(ValueError)
+        def cmd():
+            raise ValueError("bad input")
+
+        assert cmd() == 2
+        captured = capsys.readouterr()
+        assert captured.err == "error: bad input\n"
+        assert captured.out == ""
+
+    def test_custom_exit_code(self, capsys):
+        @subcommand_errors(RuntimeError, exit_code=5)
+        def cmd():
+            raise RuntimeError("boom")
+
+        assert cmd() == 5
+        assert "error: boom" in capsys.readouterr().err
+
+    def test_keyerror_message_is_unwrapped(self, capsys):
+        # str(KeyError("x")) is "'x'"; operators should not see the quotes.
+        @subcommand_errors(KeyError)
+        def cmd():
+            raise KeyError("unknown column 'energy'")
+
+        assert cmd() == 2
+        assert capsys.readouterr().err == "error: unknown column 'energy'\n"
+
+    def test_undeclared_exceptions_still_propagate(self):
+        @subcommand_errors(ValueError)
+        def cmd():
+            raise RuntimeError("a genuine bug")
+
+        with pytest.raises(RuntimeError):
+            cmd()
+
+    def test_success_value_passes_through(self, capsys):
+        @subcommand_errors(ValueError)
+        def cmd(value):
+            return value
+
+        assert cmd(0) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_requires_at_least_one_exception_type(self):
+        with pytest.raises(ValueError):
+            subcommand_errors()
