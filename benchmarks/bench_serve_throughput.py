@@ -22,12 +22,21 @@ uncontended :class:`~repro.store.runstore.RunStore` save loop with the
 cross-process file lock off, on, and on-with-a-fault-plan-armed, proving
 the lock (and the fault-point instrumentation riding the same hot path)
 costs under 5% per save.  Writes ``results/BENCH_serve_faults.json``.
+
+``--fleet N`` runs the fleet-scaling benchmark instead: fleets of 1..N
+single-worker daemons behind one :class:`~repro.fleet.FleetRouter`, a
+concurrent batch of submissions through the router each time — throughput
+should grow near-linearly with the member count because the router spreads
+load by queue depth and every member owns a real worker process.  Writes
+``results/BENCH_serve_fleet.json``.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
+import threading
 import time
 
 from common import finish, print_table
@@ -218,6 +227,96 @@ def bench_faults(saves: int = 300, batch: int = 10) -> None:
     print(f"\nlock overhead {lock_overhead:.2f}% < 5% budget: ok")
 
 
+def bench_fleet_size(members: int, submissions: int,
+                     name: str = "quickstart-tddft") -> dict:
+    """Throughput of one fleet: ``members`` daemons, one router, a
+    concurrent submission batch through the router's front door."""
+    from repro.fleet import FleetRouter
+
+    spec = _spec(name)
+    with tempfile.TemporaryDirectory() as root:
+        servers = []
+        try:
+            for index in range(members):
+                server = ScenarioServer(
+                    root, port=0, workers=1,
+                    owner=f"serve:bench:{os.getpid()}:{index}",
+                )
+                server.start()
+                servers.append(server)
+            with FleetRouter(root, port=0, stats_ttl=0.2) as router:
+                # Untimed warmup: one run per member, submitted directly, so
+                # every pool pays its spawn + cache cost outside the clock.
+                for index, server in enumerate(servers):
+                    warm = ServeClient(port=server.port, timeout=120.0)
+                    warm.wait(warm.submit(spec, run_id=f"warm-{index}")
+                              ["run_id"], timeout=300, poll=0.002)
+
+                run_ids = [f"bench-{i}" for i in range(submissions)]
+                lanes = max(2, 2 * members)
+                chunks = [run_ids[i::lanes] for i in range(lanes)]
+                errors = []
+
+                def _drive(chunk):
+                    client = ServeClient(port=router.port, timeout=120.0)
+                    try:
+                        for run_id in chunk:
+                            client.submit(spec, run_id=run_id)
+                            outcome = client.wait(run_id, timeout=300,
+                                                  poll=0.002)
+                            assert outcome.ok, outcome.error
+                    except Exception as exc:  # surfaced after join
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=_drive, args=(chunk,))
+                           for chunk in chunks if chunk]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - start
+                if errors:
+                    raise errors[0]
+        finally:
+            for server in servers:
+                server.stop(drain=False)
+    return {
+        "members": members,
+        "scenario": name,
+        "submissions": submissions,
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1),
+        "total_s": elapsed,
+        "per_run_ms": 1e3 * elapsed / submissions,
+        "runs_per_s": submissions / elapsed,
+    }
+
+
+def main_fleet(members: int, submissions: int = 16) -> None:
+    rows = []
+    for size in range(1, max(1, members) + 1):
+        row = bench_fleet_size(size, submissions)
+        row["speedup_vs_one"] = (rows[0]["per_run_ms"] / row["per_run_ms"]
+                                 if rows else 1.0)
+        rows.append(row)
+    print_table(
+        "fleet scaling: routed throughput vs member count",
+        ["members", "cpus", "submissions", "per_run_ms", "runs_per_s",
+         "speedup_vs_one"],
+        rows,
+    )
+    finish("BENCH_serve_fleet", {
+        "rows": rows,
+        "speedup_at_max": rows[-1]["speedup_vs_one"],
+    })
+    if rows[-1]["cpus"] < rows[-1]["members"]:
+        print(f"\nnote: {rows[-1]['members']} members sharing "
+              f"{rows[-1]['cpus']} visible CPU(s) — scaling is core-limited "
+              "on this machine; expect near-linear speedup only when "
+              "cpus >= members.")
+
+
 def main(submissions: int = 20) -> None:
     rows = []
     for name in WORKLOADS:
@@ -237,5 +336,10 @@ def main(submissions: int = 20) -> None:
 if __name__ == "__main__":
     if "--faults" in sys.argv:
         bench_faults()
+    elif "--fleet" in sys.argv:
+        position = sys.argv.index("--fleet")
+        count = int(sys.argv[position + 1]) \
+            if len(sys.argv) > position + 1 else 2
+        main_fleet(count)
     else:
         main()

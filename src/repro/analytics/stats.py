@@ -65,6 +65,34 @@ def store_stats(serve_root) -> Dict[str, Any]:
     }
 
 
+def fleet_rollup(member_stats) -> Dict[str, Any]:
+    """Fleet-wide totals from per-member ``/v1/stats`` daemon sections.
+
+    The router's ``/v1/stats`` serves this so one poll answers "how is the
+    whole fleet doing": counts are summed across members, the average run
+    time is the mean of the members that have observed one, and ``stolen``
+    totals the runs that moved between daemons via work stealing.
+    """
+    members = [m for m in member_stats if isinstance(m, dict)]
+    totals = {
+        key: sum(int(m.get(key, 0) or 0) for m in members)
+        for key in ("queued", "running", "done", "failed",
+                    "queue_depth", "inflight", "queue_size", "stolen")
+    }
+    avg_samples = [float(m["avg_run_s"]) for m in members
+                   if m.get("avg_run_s") is not None]
+    return {
+        "members": len(members),
+        "workers": sum(
+            int((m.get("pool") or {}).get("workers", 0) or 0)
+            for m in members
+        ),
+        **totals,
+        "avg_run_s": (sum(avg_samples) / len(avg_samples)
+                      if avg_samples else None),
+    }
+
+
 def warehouse_stats(warehouse) -> Dict[str, Any]:
     """Partition counts/bytes of one warehouse, dashboard-shaped."""
     partitions = warehouse.describe()
@@ -121,6 +149,24 @@ def render_dashboard(stats: Dict[str, Any]) -> str:
              else f"{100.0 * hit_rate:.0f}% of "
                   f"{pool.get('submissions', 0)} submissions"),
             ("retention", daemon.get("retention")),
+        ):
+            if value is not None:
+                lines.append(f"  {label:<32} {_fmt(value)}")
+
+    fleet = stats.get("fleet")
+    if fleet:
+        lines.append("fleet")
+        for label, value in (
+            ("members", fleet.get("members")),
+            ("workers", fleet.get("workers")),
+            ("queued / running / done / failed",
+             " / ".join(str(fleet.get(k, 0))
+                        for k in ("queued", "running", "done", "failed"))),
+            ("queue depth", f"{fleet.get('queue_depth', 0)}"
+             f" of {fleet.get('queue_size', '?')}"),
+            ("stolen runs", fleet.get("stolen")),
+            ("avg run time", None if fleet.get("avg_run_s") is None
+             else f"{fleet['avg_run_s']:.2f} s"),
         ):
             if value is not None:
                 lines.append(f"  {label:<32} {_fmt(value)}")

@@ -28,6 +28,11 @@ Subcommands
 ``status [run-id]`` / ``fetch <run-id> [--json PATH]`` / ``shutdown``
     Poll one run (or all of them), download a finished
     :class:`~repro.api.result.RunResult`, or stop the daemon.
+``fleet route/ls/status``
+    Multi-daemon fleets over one shared state root: run the load-balancing
+    router gateway (:class:`~repro.fleet.router.FleetRouter` — the same wire
+    protocol as a single daemon, so every client above works against it
+    unchanged), list membership records, or poll per-member queue depth.
 ``store ls/inspect/migrate/compact DIR``
     Maintain a checkpoint store root: list runs (format, snapshot counts,
     sizes), inspect one run's manifest, upgrade v1 JSON trees to the v2
@@ -228,6 +233,51 @@ def _build_parser() -> argparse.ArgumentParser:
                             "last checkpoint; governs how quickly another "
                             "daemon sharing the state root may take over a "
                             "crashed daemon's runs (default 60)")
+    serve.add_argument("--steal-interval", type=float, default=None,
+                       metavar="S",
+                       help="enable fleet work stealing: scan the shared "
+                            "journal every S seconds for orphaned runs "
+                            "(dead/absent owners) and adopt them onto idle "
+                            "worker slots (default: off)")
+    serve.add_argument("--fleet-ttl", type=float, default=None, metavar="S",
+                       help="seconds this daemon's fleet-membership record "
+                            "stays live past its last heartbeat (default 15)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-daemon fleet: router gateway, membership listing, "
+             "per-member status",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_route = fleet_sub.add_parser(
+        "route", help="run the fleet router: one address that load-balances "
+                      "submissions across every daemon sharing a state root "
+                      "and proxies status/result/events with failover")
+    fleet_route.add_argument("--root", required=True, metavar="DIR",
+                             help="the fleet's shared state root (the "
+                                  "daemons' --checkpoint-dir)")
+    fleet_route.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+    fleet_route.add_argument("--port", type=int, default=None, metavar="P",
+                             help="TCP port (default: daemon default + 1; "
+                                  "0 = pick a free one)")
+    fleet_route.add_argument("--stats-ttl", type=float, default=1.0,
+                             metavar="S",
+                             help="seconds a member's queue-depth snapshot "
+                                  "stays cached (default 1)")
+    fleet_ls = fleet_sub.add_parser(
+        "ls", help="list the fleet's membership records (live + stale)")
+    fleet_ls.add_argument("root", metavar="DIR",
+                          help="the fleet's shared state root")
+    fleet_ls.add_argument("--json", dest="as_json", action="store_true",
+                          help="print machine-readable JSON")
+    fleet_status = fleet_sub.add_parser(
+        "status", help="live fleet overview: membership plus per-member "
+                       "queue depth (polls each member's /v1/stats)")
+    fleet_status.add_argument("root", metavar="DIR",
+                              help="the fleet's shared state root")
+    fleet_status.add_argument("--json", dest="as_json", action="store_true",
+                              help="print machine-readable JSON")
 
     store = sub.add_parser(
         "store",
@@ -546,7 +596,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         keep=args.keep,
         retention=args.retention,
         analytics_dir=args.analytics_dir,
+        steal_interval=args.steal_interval,
         **({"lease_ttl": args.lease_ttl} if args.lease_ttl is not None else {}),
+        **({"fleet_ttl": args.fleet_ttl} if args.fleet_ttl is not None else {}),
     )
     server.start()
     # The flush matters: supervisors (and the test harness) parse this line
@@ -691,6 +743,70 @@ def _cmd_analytics(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import DEFAULT_ROUTER_PORT, FleetRegistry, FleetRouter
+
+    if args.fleet_command == "route":
+        router = FleetRouter(
+            root=args.root,
+            host=args.host,
+            port=DEFAULT_ROUTER_PORT if args.port is None else args.port,
+            stats_ttl=args.stats_ttl,
+        )
+        router.start()
+        # Same contract as `repro serve`: supervisors parse this line from a
+        # pipe to learn the bound port before the first request.
+        print(f"repro fleet route: listening on {router.host}:{router.port} "
+              f"(root: {router.root})", flush=True)
+        router.serve_forever()
+        return 0
+
+    if args.fleet_command == "ls":
+        members = FleetRegistry(args.root).members(include_stale=True)
+        if args.as_json:
+            print(json.dumps({"members": members}, indent=2))
+            return 0
+        if not members:
+            print(f"no fleet members registered under {args.root}")
+            return 0
+        width = max(len(str(m.get("member_id", "?"))) for m in members)
+        print(f"{len(members)} fleet member(s) under {args.root}:")
+        for member in members:
+            state = "stale" if member.get("stale") else "live"
+            print(f"  {str(member.get('member_id', '?')):<{width}}  "
+                  f"{member.get('host', '?')}:{member.get('port', '?')}  "
+                  f"{state:<5}  workers: {member.get('workers', '?')}  "
+                  f"pid: {member.get('pid', '?')}")
+        return 0
+
+    assert args.fleet_command == "status"
+    # An unstarted router instance is just a fleet client: membership from
+    # the registry, queue depth from each live member's /v1/stats.
+    overview = FleetRouter(root=args.root).fleet_overview()
+    if args.as_json:
+        print(json.dumps(overview, indent=2))
+        return 0
+    members = overview["members"]
+    if not members:
+        print(f"no fleet members registered under {args.root}")
+        return 0
+    width = max(len(str(m.get("member_id", "?"))) for m in members)
+    print(f"{len(members)} fleet member(s) under {args.root}:")
+    for member in members:
+        if member.get("stale"):
+            state = "stale"
+        elif not member.get("reachable"):
+            state = "unreachable"
+        else:
+            state = "live"
+        depth = member.get("queue_depth")
+        depth_text = "-" if depth is None else f"{depth:g}"
+        print(f"  {str(member.get('member_id', '?')):<{width}}  "
+              f"{member.get('host', '?')}:{member.get('port', '?')}  "
+              f"{state:<11}  depth: {depth_text}")
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     ack = _client(args).shutdown(drain=not args.no_drain)
     print(f"daemon at {args.host}:{args.port} stopping "
@@ -710,6 +826,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status": lambda: _cmd_status(args),
         "fetch": lambda: _cmd_fetch(args),
         "shutdown": lambda: _cmd_shutdown(args),
+        "fleet": lambda: _cmd_fleet(args),
         "store": lambda: _cmd_store(args),
         "analytics": lambda: _cmd_analytics(args),
     }

@@ -170,7 +170,8 @@ class ServeClient:
         return random.uniform(delay / 2.0, delay)
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 body: Optional[Dict[str, Any]] = None,
+                 idempotent: bool = False) -> Dict[str, Any]:
         attempt = 0
         while True:
             try:
@@ -181,10 +182,24 @@ class ServeClient:
                     raise
                 time.sleep(self._delay(attempt, exc.retry_after))
             except ServeUnavailable:
-                if method != "GET" or attempt >= self.retries:
+                # Connection failures are retried for GETs and for requests
+                # the caller marked idempotent (a submit with a caller-chosen
+                # run_id: the daemon deduplicates a replay of the same id +
+                # spec, so re-sending after a dropped ack is safe).
+                if (method != "GET" and not idempotent) \
+                        or attempt >= self.retries:
                     raise
                 time.sleep(self._delay(attempt, None))
             attempt += 1
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One raw wire request (no retries); ``path`` is relative to /v1.
+
+        The escape hatch proxies (the fleet router) use to forward routes
+        verbatim; regular callers want the typed methods below.
+        """
+        return self._request_once(method, path, body=body)
 
     # ------------------------------------------------------------------
     # Protocol surface
@@ -234,7 +249,11 @@ class ServeClient:
             body["checkpoint_every"] = int(checkpoint_every)
         if faults:
             body["faults"] = faults
-        return self._request("POST", "/runs", body=body)
+        # A caller-supplied run id makes the submit idempotent end to end:
+        # the daemon answers a replay of the same (id, spec) with a dedup
+        # ack instead of 409, so connection failures may be retried.
+        return self._request("POST", "/runs", body=body,
+                             idempotent=run_id is not None)
 
     def runs(self) -> List[Dict[str, Any]]:
         return list(self._request("GET", "/runs")["runs"])
@@ -257,22 +276,35 @@ class ServeClient:
         raise ServeError(500, f"malformed outcome payload: {sorted(payload)}")
 
     def wait(self, run_id: str, timeout: Optional[float] = None,
-             poll: float = 0.1) -> ServeOutcome:
+             poll: float = 0.1, poll_cap: float = 2.0) -> ServeOutcome:
         """Poll until the run finishes; returns the decoded outcome.
 
         ``timeout`` bounds the whole wait: when it expires while the run is
         still queued/running, a :class:`ServeTimeout` is raised carrying the
         run's last observed status — distinct from :class:`ServeUnavailable`
         (a dead daemon), so callers can tell "slow run" from "lost daemon".
+
+        The poll interval starts at ``poll`` and doubles up to ``poll_cap``
+        between status checks: long runs cost the daemon a handful of polls
+        instead of a fixed-rate hammering, which matters once fleet-scale
+        fan-out multiplies the waiting clients — while the first checks stay
+        quick so short runs return promptly.  Sleeps never overshoot a
+        remaining ``timeout`` budget.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = max(0.001, float(poll))
+        poll_cap = max(delay, float(poll_cap))
         while True:
             record = self.status(run_id)
             if record["status"] in ("done", "failed"):
                 return self.result(run_id)
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeTimeout(run_id, str(record["status"]), timeout)
-            time.sleep(poll)
+            sleep = delay
+            if deadline is not None:
+                sleep = min(sleep, max(0.0, deadline - time.monotonic()))
+            time.sleep(sleep)
+            delay = min(delay * 2.0, poll_cap)
 
     def events(self, run_id: str, from_step: int = 0,
                timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:

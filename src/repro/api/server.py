@@ -44,6 +44,7 @@ Wire protocol (newline-delimited JSON over HTTP/1.0; see README "Serving")::
     GET  /v1/stats                deep observability: queue depth, EWMA run
                                   time, warm-pool hit rate, store footprint,
                                   lease states, analytics ingest counters
+    GET  /v1/fleet                fleet membership (live + stale members)
     GET  /v1/scenarios            registered scenario names
     POST /v1/shutdown             {"drain": bool} — stop accepting and exit
 
@@ -67,15 +68,22 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+import repro
 from repro import faults
 from repro.api.executor import WorkerPool
 from repro.api.registry import default_registry
 from repro.api.spec import ScenarioSpec
 from repro.api.store import CheckpointStore, atomic_write_json, validate_key
+from repro.fleet.membership import (
+    DEFAULT_MEMBER_TTL_S, FleetRegistry, member_id_for,
+)
+from repro.fleet.scheduler import (
+    FAULT_STEAL_PRE_CLAIM, FleetClaimLost, FleetScheduler,
+)
 from repro.store import DEFAULT_LEASE_TTL_S
-from repro.store.errors import CheckpointError
-from repro.store.locks import lease_stale, pid_alive
-from repro.store.manifest import read_manifest
+from repro.store.errors import StoreLockTimeout
+from repro.store.locks import RunLock, owner_alive
+from repro.store.manifest import read_lease
 from repro.store.retention import (
     CompositePolicy, KeepEvery, RetentionPolicy, StoredItem,
     describe_retention, parse_retention,
@@ -263,7 +271,9 @@ class ScenarioServer:
                  analytics_dir=None,
                  mp_context=None,
                  owner: Optional[str] = None,
-                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S,
+                 fleet_ttl: float = DEFAULT_MEMBER_TTL_S,
+                 steal_interval: Optional[float] = None) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         if max_retries < 0:
@@ -290,6 +300,15 @@ class ScenarioServer:
         self.owner = str(owner) if owner is not None \
             else f"serve:{socket.gethostname()}:{os.getpid()}"
         self.lease_ttl = float(lease_ttl)
+        #: Fleet identity + membership registry (shared `<root>/fleet/`).
+        self.daemon_id = member_id_for(self.owner)
+        self.registry = FleetRegistry(self.root, ttl=fleet_ttl)
+        self.steal_interval = (
+            None if steal_interval is None else float(steal_interval)
+        )
+        self._fleet: Optional[FleetScheduler] = None
+        self._member_id: Optional[str] = None
+        self._stolen_ids: List[str] = []
         self.store = CheckpointStore(
             self.root / "checkpoints", keep=keep, retention=self.retention
         )
@@ -383,35 +402,31 @@ class ScenarioServer:
     def _foreign_owner_alive(self, entry: Dict[str, Any], run_id: str) -> bool:
         """Best evidence on whether a foreign journal entry's owner is alive.
 
-        Same-host owners are probed directly by pid — a SIGKILLed daemon's
-        runs become claimable immediately.  Otherwise the run's manifest
-        lease decides: a lease renewed within its TTL means a live writer;
-        no lease (the run never checkpointed) falls back to the journal
-        entry itself being fresh evidence is absent — treat as dead, the
-        save-time lease check is the final arbiter of an actual race.
+        Delegates to the shared claim-scan predicate
+        (:func:`repro.store.locks.owner_alive`): same-host owners are probed
+        directly by pid — a SIGKILLed daemon's runs become claimable
+        immediately — otherwise the run's manifest lease decides.  No probe
+        and no lease reads as dead; the save-time lease check is the final
+        arbiter of an actual race.
         """
-        host = entry.get("owner_host")
-        pid = entry.get("owner_pid")
-        if host == socket.gethostname() and pid:
-            try:
-                alive = pid_alive(int(pid))
-            except (TypeError, ValueError):
-                alive = None
-            if alive is not None:
-                return alive
+        lease = None
         scenario = str(entry.get("spec", {}).get("name", ""))
         if scenario:
             try:
-                manifest = read_manifest(self.store.run_dir(scenario, run_id))
-            except (CheckpointError, ValueError):
-                return False
-            if manifest is not None:
-                return not lease_stale(manifest.get("lease"))
-        return False
+                lease = read_lease(self.store.run_dir(scenario, run_id))
+            except ValueError:
+                lease = None
+        return owner_alive(
+            entry.get("owner_host"), entry.get("owner_pid"), lease=lease
+        )
 
     def _persist_outcome(self, record: RunRecord,
                          outcome: Dict[str, Any]) -> None:
-        payload = {"run_id": record.run_id, "finished_at": record.finished_at}
+        # "spec" makes finished runs idempotency-checkable: a retried submit
+        # (or the router's failover retry) of the same id can prove it is the
+        # same submission and answer success instead of 409.
+        payload = {"run_id": record.run_id, "finished_at": record.finished_at,
+                   "spec": record.spec}
         payload.update(outcome)
         faults.point(FAULT_RESULT_PRE_PERSIST)
         atomic_write_json(self._result_path(record.run_id), payload)
@@ -588,6 +603,13 @@ class ScenarioServer:
                 run_id = validate_key(str(run_id), "run_id")
             except ValueError as exc:
                 raise ServerError(400, str(exc)) from exc
+            # Idempotent retry: a caller-supplied id that already names this
+            # exact submission (dropped ack + retry, router failover) is
+            # acknowledged again instead of 409ing.
+            ack = self._dedup_ack(run_id, validated.to_dict(),
+                                  checkpoint_every)
+            if ack is not None:
+                return ack
         with self._wake:
             if self._stopping:
                 raise ServerError(
@@ -634,6 +656,36 @@ class ScenarioServer:
         ack["position"] = position
         return ack
 
+    def _dedup_ack(self, run_id: str, spec: Dict[str, Any],
+                   checkpoint_every: Optional[int],
+                   ) -> Optional[Dict[str, Any]]:
+        """An ack for a resubmission that provably duplicates ``run_id``.
+
+        Returns None when the id is unknown here *or* names a different
+        submission — the caller's normal conflict path (409) then applies.
+        A record with a different ``checkpoint_every`` still conflicts: the
+        cadence changes the snapshot trail, so it is not the same run.
+        """
+        with self._wake:
+            record = self._records.get(run_id)
+            if record is not None:
+                if (record.spec == spec
+                        and record.checkpoint_every == checkpoint_every):
+                    ack = record.to_dict()
+                    ack["position"] = None
+                    ack["deduplicated"] = True
+                    return ack
+                return None
+        outcome = self._load_outcome(run_id)
+        if outcome is not None and outcome.get("spec") == spec:
+            # Finished by this or a previous daemon incarnation; results
+            # persisted before the spec stamp existed stay conservative (409).
+            ack = self.record_dict(run_id)
+            ack["position"] = None
+            ack["deduplicated"] = True
+            return ack
+        return None
+
     def _claim_run(self, record: RunRecord, auto_id: bool) -> None:
         """Make ``record``'s run id this daemon's, durably, or raise 409.
 
@@ -664,8 +716,19 @@ class ScenarioServer:
                 continue
             owner = entry.get("owner")
             if owner in (None, self.owner):
-                # Our own (or a pre-ownership) journal entry: an ordinary
-                # duplicate submission, same answer as a live record.
+                if entry.get("spec") == record.spec:
+                    # An identical journalled submission nobody is running
+                    # (ownerless pre-ownership entry, or our own orphan):
+                    # adopt it — resubmitting the same work is idempotent.
+                    record.resume = True
+                    record.recovered = True
+                    if owner is None:
+                        try:
+                            self._journal(record)
+                        except (OSError, faults.InjectedFault):
+                            pass  # ownership stamp is cosmetic here
+                    return
+                # A *different* submission under the same id: a true conflict.
                 raise ServerError(
                     409, f"run id {record.run_id!r} already exists"
                 )
@@ -681,6 +744,147 @@ class ScenarioServer:
             record.recovered = True
             self._journal(record)
             return
+
+    # ------------------------------------------------------------------
+    # Fleet: work stealing over the shared journal
+    # ------------------------------------------------------------------
+    def steal_once(self) -> List[str]:
+        """Adopt orphaned journal entries while idle slots exist.
+
+        One pass of the :class:`~repro.fleet.scheduler.FleetScheduler`'s
+        steal tick: scan the shared journal dir for pending runs whose owner
+        is provably dead or absent, claim each under a per-run claim lock
+        (kernel-released flock — two daemons racing the same orphan see
+        exactly one winner; the loser's :class:`FleetClaimLost` is swallowed
+        here), and enqueue the wins with ``resume=True`` so they continue
+        from their snapshots bit-identically.  Returns the adopted run ids.
+        """
+        if not self._queue_dir.is_dir():
+            return []
+        adopted: List[str] = []
+        for path in sorted(self._queue_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue  # an atomic-write temp file caught mid-write
+            with self._wake:
+                if self._stopping:
+                    break
+                if len(self._queue) + len(self._inflight) >= self._slots():
+                    break  # no idle slot; leave the rest for the next tick
+                known = path.stem in self._records
+            if known:
+                continue
+            entry = self._read_journal(path.stem)
+            if entry is None:
+                continue  # torn write, or the run just finished
+            run_id = str(entry.get("run_id", ""))
+            if run_id != path.stem:
+                continue
+            try:
+                validate_key(run_id, "run_id")
+            except ValueError:
+                continue
+            if self._result_path(run_id).exists():
+                # Dead entry: its owner crashed between persisting the
+                # result and unlinking the journal.  Same cleanup as the
+                # startup replay — nothing to execute.
+                try:
+                    self._journal_path(run_id).unlink()
+                except OSError:
+                    pass
+                continue
+            owner = entry.get("owner")
+            if (owner == self.owner
+                    or self._foreign_owner_alive(entry, run_id)):
+                continue  # ours already, or a live sibling's responsibility
+            try:
+                self._adopt_orphan(run_id, entry)
+            except FleetClaimLost:
+                continue  # a peer won the race — exactly what should happen
+            adopted.append(run_id)
+        if adopted:
+            with self._wake:
+                self._stolen_ids.extend(adopted)
+        return adopted
+
+    def _adopt_orphan(self, run_id: str, entry: Dict[str, Any]) -> None:
+        """Claim one orphaned journal entry for this daemon, or raise
+        :class:`FleetClaimLost`.
+
+        The arbiter is a per-run flock inside the shared queue dir: the
+        kernel releases it instantly when a claimant crashes, and the
+        journal entry itself is only *rewritten in place* (never moved), so
+        a crash mid-claim leaves the orphan intact for the next claimant —
+        the ``fleet.steal.pre_claim`` fault point sits exactly there.
+        """
+        claim = RunLock(self._queue_dir, timeout=0.25,
+                        name=f".claim-{run_id}.lock")
+        try:
+            claim.acquire()
+        except StoreLockTimeout:
+            raise FleetClaimLost(run_id, "claim lock is contended") from None
+        try:
+            faults.point(FAULT_STEAL_PRE_CLAIM)
+            # Re-verify under the lock: the winner of a race rewrote the
+            # entry (or finished the run) while we waited.
+            current = self._read_journal(run_id)
+            if current is None:
+                raise FleetClaimLost(run_id, "journal entry vanished")
+            if current.get("owner") != entry.get("owner"):
+                raise FleetClaimLost(run_id, "another daemon adopted it")
+            if self._result_path(run_id).exists():
+                raise FleetClaimLost(run_id, "the run already finished")
+            if self._foreign_owner_alive(current, run_id):
+                raise FleetClaimLost(run_id, "its owner came back to life")
+            record = RunRecord(
+                run_id=run_id,
+                seq=int(current.get("seq", 0)),
+                spec=dict(current.get("spec", {})),
+                checkpoint_every=current.get("checkpoint_every"),
+                resume=True,
+                recovered=True,
+                submitted_at=float(current.get("submitted_at", time.time())),
+            )
+            with self._wake:
+                if self._stopping or run_id in self._records:
+                    raise FleetClaimLost(run_id, "no longer claimable here")
+                self._records[run_id] = record
+                self._seq = max(self._seq, record.seq + 1)
+            try:
+                # The durable ownership transfer: the entry now names us, so
+                # peers' scans skip it while this daemon lives.
+                self._journal(record)
+            except (OSError, faults.InjectedFault):
+                with self._wake:
+                    self._records.pop(run_id, None)
+                raise FleetClaimLost(run_id, "could not stamp ownership")
+            with self._wake:
+                self._queue.append(run_id)
+                self._wake.notify_all()
+            # Only the WINNER unlinks the claim file: a loser unlinking it
+            # while the entry is still claimable would let two late racers
+            # flock different inodes of the same path simultaneously.  After
+            # a win the entry names us, so any orphaned-inode holder fails
+            # the owner re-check anyway.
+            try:
+                claim.path.unlink()
+            except OSError:
+                pass
+        finally:
+            claim.release()
+
+    def member_entry(self) -> Dict[str, Any]:
+        """This daemon's membership record (heartbeat payload)."""
+        return {
+            "owner": self.owner,
+            "daemon_id": self.daemon_id,
+            "host": self.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "machine": socket.gethostname(),
+            "started_at": self.started_at,
+            "version": repro.__version__,
+            "workers": self.pool.workers,
+        }
 
     def _backpressure_hint(self) -> float:
         """Seconds until a queue slot should free up (caller holds _wake).
@@ -945,6 +1149,13 @@ class ScenarioServer:
                 "ok": True,
                 "pid": os.getpid(),
                 "owner": self.owner,
+                # Fleet identity: peers and the router discover each other
+                # through these plus the membership registry.
+                "daemon_id": self.daemon_id,
+                "host": self.host,
+                "port": self.port,
+                "started_at": self.started_at,
+                "version": repro.__version__,
                 "uptime_s": time.time() - self.started_at,
                 "workers": self.pool.workers,
                 "pool_started": self.pool.started,
@@ -979,6 +1190,8 @@ class ScenarioServer:
                 "ok": True,
                 "pid": os.getpid(),
                 "owner": self.owner,
+                "daemon_id": self.daemon_id,
+                "stolen": len(self._stolen_ids),
                 "uptime_s": time.time() - self.started_at,
                 "queued": statuses.count("queued"),
                 "running": statuses.count("running"),
@@ -1075,6 +1288,18 @@ class ScenarioServer:
             kwargs={"poll_interval": 0.1}, daemon=True,
         )
         self._http_thread.start()
+        # Join the fleet only once the port is final (port=0 was rewritten
+        # above) so the membership record advertises a reachable address.
+        try:
+            self._member_id = self.registry.join(self.member_entry())
+        except (OSError, faults.InjectedFault):
+            self.stop(drain=False)
+            raise
+        self._fleet = FleetScheduler(
+            self,
+            heartbeat_interval=min(5.0, self.registry.ttl / 3.0),
+            steal_interval=self.steal_interval,
+        ).start()
         return self
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
@@ -1088,6 +1313,14 @@ class ScenarioServer:
         with self._wake:
             self._stopping = True
             self._wake.notify_all()
+        # Leave the fleet first: the router must stop routing submissions
+        # here before the queue starts refusing them.
+        if self._fleet is not None:
+            self._fleet.stop()
+            self._fleet = None
+        if self._member_id is not None:
+            self.registry.leave(self._member_id)
+            self._member_id = None
         if drain:
             deadline = None if timeout is None else time.time() + timeout
             with self._wake:
@@ -1135,6 +1368,35 @@ class ScenarioServer:
 # ----------------------------------------------------------------------
 # HTTP layer
 # ----------------------------------------------------------------------
+def resolve_submission_spec(body: Dict[str, Any]) -> Dict[str, Any]:
+    """A POST /v1/runs body's spec dict (inline ``spec`` or registry
+    ``scenario`` + ``overrides``); raises :class:`ServerError` on bad input.
+
+    Module-level because the fleet router resolves submissions the same way
+    before it picks a member to forward to.
+    """
+    if "spec" in body:
+        spec = body["spec"]
+        if not isinstance(spec, dict):
+            raise ServerError(400, "'spec' must be a JSON object")
+        return spec
+    if "scenario" in body:
+        try:
+            spec = default_registry().get(str(body["scenario"]))
+        except KeyError as exc:
+            raise ServerError(404, str(exc.args[0])) from exc
+        overrides = body.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ServerError(400, "'overrides' must be a JSON object")
+        if overrides:
+            try:
+                spec = spec.with_overrides(overrides)
+            except (KeyError, ValueError) as exc:
+                raise ServerError(400, str(exc)) from exc
+        return spec.to_dict()
+    raise ServerError(400, "submission needs 'spec' or 'scenario'")
+
+
 def _make_handler(daemon: ScenarioServer):
     class Handler(BaseHTTPRequestHandler):
         server_version = "repro-serve/1"
@@ -1198,6 +1460,10 @@ def _make_handler(daemon: ScenarioServer):
                 return self._send_json(daemon.health())
             if parts == ["stats"]:
                 return self._send_json(daemon.stats())
+            if parts == ["fleet"]:
+                return self._send_json(
+                    {"members": daemon.registry.members(include_stale=True)}
+                )
             if parts == ["scenarios"]:
                 return self._send_json(
                     {"scenarios": default_registry().names()}
@@ -1241,28 +1507,7 @@ def _make_handler(daemon: ScenarioServer):
                 return None
             raise ServerError(404, f"unknown path {self.path!r}")
 
-        @staticmethod
-        def _resolve_spec(body: Dict[str, Any]) -> Dict[str, Any]:
-            if "spec" in body:
-                spec = body["spec"]
-                if not isinstance(spec, dict):
-                    raise ServerError(400, "'spec' must be a JSON object")
-                return spec
-            if "scenario" in body:
-                try:
-                    spec = default_registry().get(str(body["scenario"]))
-                except KeyError as exc:
-                    raise ServerError(404, str(exc.args[0])) from exc
-                overrides = body.get("overrides") or {}
-                if not isinstance(overrides, dict):
-                    raise ServerError(400, "'overrides' must be a JSON object")
-                if overrides:
-                    try:
-                        spec = spec.with_overrides(overrides)
-                    except (KeyError, ValueError) as exc:
-                        raise ServerError(400, str(exc)) from exc
-                return spec.to_dict()
-            raise ServerError(400, "submission needs 'spec' or 'scenario'")
+        _resolve_spec = staticmethod(resolve_submission_spec)
 
         def _stream_events(self, run_id: str, from_step: int) -> None:
             # 404 before committing to a stream.

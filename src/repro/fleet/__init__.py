@@ -1,0 +1,38 @@
+"""``repro.fleet``: many daemons, one shared store, one front door.
+
+Three layers (see ``docs/fleet.md``):
+
+* :mod:`repro.fleet.membership` — the on-disk fleet registry
+  (``<root>/fleet/members/``) daemons heartbeat into;
+* :mod:`repro.fleet.scheduler` — the per-daemon heartbeat + work-stealing
+  loop, plus the typed :class:`FleetClaimLost` loser error;
+* :mod:`repro.fleet.router` — the load-balancing gateway that speaks the
+  same ``/v1`` wire protocol as a single daemon.
+
+The router is exported lazily: it imports :mod:`repro.api` (client +
+server), which itself imports the membership/scheduler layers — an eager
+import here would make that a cycle.
+"""
+
+from repro.fleet.membership import (
+    DEFAULT_MEMBER_TTL_S, FleetRegistry, member_id_for,
+)
+from repro.fleet.scheduler import FleetClaimLost, FleetScheduler
+
+__all__ = [
+    "DEFAULT_MEMBER_TTL_S",
+    "DEFAULT_ROUTER_PORT",
+    "FleetClaimLost",
+    "FleetRegistry",
+    "FleetRouter",
+    "FleetScheduler",
+    "member_id_for",
+]
+
+
+def __getattr__(name):  # PEP 562 — lazy router import, see module docstring
+    if name in ("FleetRouter", "DEFAULT_ROUTER_PORT"):
+        from repro.fleet import router
+
+        return getattr(router, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

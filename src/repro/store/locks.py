@@ -52,6 +52,7 @@ __all__ = [
     "default_owner",
     "lease_remaining",
     "lease_stale",
+    "owner_alive",
     "pid_alive",
     "release_lease",
 ]
@@ -101,8 +102,8 @@ class RunLock:
     """
 
     def __init__(self, run_dir, timeout: float = 10.0,
-                 poll: float = 0.02) -> None:
-        self.path = Path(run_dir) / LOCK_NAME
+                 poll: float = 0.02, name: str = LOCK_NAME) -> None:
+        self.path = Path(run_dir) / name
         self.timeout = float(timeout)
         self.poll = float(poll)
         self._fd: Optional[int] = None
@@ -238,6 +239,30 @@ def lease_stale(lease: Optional[Dict[str, Any]],
             return False
         if pid_alive(pid) is False:
             return True
+    return False
+
+
+def owner_alive(host: Optional[str], pid: Any,
+                lease: Optional[Dict[str, Any]] = None,
+                now: Optional[float] = None) -> bool:
+    """Best evidence that an owner identity (host, pid[, lease]) is alive.
+
+    The shared claim-scan predicate of journal recovery and fleet work
+    stealing: a same-host owner is probed directly by pid (a SIGKILLed
+    daemon's runs become claimable immediately); otherwise the run's
+    manifest lease decides — a lease renewed within its TTL means a live
+    writer.  No probe and no lease reads as dead: the save-time lease check
+    is the final arbiter of an actual race.
+    """
+    if host == socket.gethostname() and pid:
+        try:
+            alive = pid_alive(int(pid))
+        except (TypeError, ValueError):
+            alive = None
+        if alive is not None:
+            return alive
+    if lease is not None:
+        return not lease_stale(lease, now)
     return False
 
 

@@ -98,6 +98,24 @@ def read_manifest(run_dir) -> Optional[Dict[str, Any]]:
     return manifest
 
 
+def read_lease(run_dir) -> Optional[Dict[str, Any]]:
+    """The run's ownership lease record, or None — deliberately lenient.
+
+    Claim scans (journal recovery, fleet work stealing) walk many run
+    directories looking for evidence of a live owner; an absent, corrupt or
+    foreign-format manifest must read as "no lease" there, not abort the
+    whole scan the way :func:`read_manifest`'s typed errors would.
+    """
+    try:
+        manifest = read_manifest(run_dir)
+    except (CheckpointError, ValueError):
+        return None
+    if manifest is None:
+        return None
+    lease = manifest.get("lease")
+    return lease if isinstance(lease, dict) else None
+
+
 def write_manifest(run_dir, manifest: Dict[str, Any]) -> Path:
     faults.point(FAULT_COMMIT_PRE)
     path = atomic_write_json(

@@ -40,6 +40,8 @@ from repro.api.result import RunFailure, RunResult
 from repro.api.server import FAULT_SERVE_RETRY_PRE_REQUEUE
 from repro.store import RunStore
 import repro.analytics  # noqa: F401 - registers the analytics fault points
+import repro.fleet.membership  # noqa: F401 - registers the fleet fault points
+import repro.fleet.router  # noqa: F401 - registers the router fault point
 import repro.store.migrate  # noqa: F401 - registers the migrate fault points
 
 from test_api import smoke_spec
@@ -76,6 +78,10 @@ DRIVERS = {
     "analytics.manifest.pre_write": "TestAnalyticsCrashMatrix",
     "analytics.manifest.pre_rename": "TestAnalyticsCrashMatrix",
     "analytics.manifest.post_commit": "TestAnalyticsCrashMatrix",
+    # Fleet drivers live in test_fleet.py (same chaos marker, same CI job).
+    "fleet.member.pre_join": "TestFleetFaults",
+    "fleet.steal.pre_claim": "TestFleetFaults",
+    "fleet.router.pre_proxy": "TestFleetFaults",
 }
 
 

@@ -258,8 +258,14 @@ class TestProtocol:
         spec = smoke_spec("maxwell-vacuum")
         client.submit(spec, run_id="twice")
         client.wait("twice", timeout=60)
+        # An identical resubmission is idempotent (a retried POST whose ack
+        # was lost must not fail)...
+        ack = client.submit(spec, run_id="twice")
+        assert ack["deduplicated"] is True
+        # ...but a *different* submission under the same id still conflicts.
         with pytest.raises(ServeError) as excinfo:
-            client.submit(spec, run_id="twice")
+            client.submit(smoke_spec("maxwell-vacuum", num_steps=7),
+                          run_id="twice")
         assert excinfo.value.status == 409
 
     def test_auto_run_ids_skip_taken_ids(self, client):
