@@ -29,6 +29,14 @@ concurrent batch of submissions through the router each time — throughput
 should grow near-linearly with the member count because the router spreads
 load by queue depth and every member owns a real worker process.  Writes
 ``results/BENCH_serve_fleet.json``.
+
+``--batch M`` runs the same-shape coalescing benchmark instead: a burst of
+same-shape ``localmode-switch`` submissions (differing only in seed) through
+a serial daemon (``batch_max=1``) and through a batching daemon
+(``batch_max=M``) whose scheduler fuses queued same-shape runs into one
+vectorized :class:`~repro.batch.engine.BatchedEngine` call per worker
+dispatch.  Asserts the batching daemon clears >= 2x submissions/second with
+bit-identical per-seed results.  Writes ``results/BENCH_serve_batch.json``.
 """
 
 from __future__ import annotations
@@ -317,6 +325,100 @@ def main_fleet(members: int, submissions: int = 16) -> None:
               "cpus >= members.")
 
 
+#: The coalescing workload: stepping-dominated (no relaxation preamble,
+#: sparse recording) so the measurement is about the fused kernel calls, not
+#: per-member recording overhead.  Seeds differ per submission — exactly the
+#: sweep shape the batcher exists for.
+BATCH_WORKLOAD = {
+    "propagator.relax_steps": 0,
+    "runtime.num_steps": 2000,
+    "runtime.record_every": 200,
+}
+
+
+def _batch_spec(seed: int):
+    return default_registry().get("localmode-switch").with_overrides(
+        {**BATCH_WORKLOAD, "seed": seed})
+
+
+def _comparable(outcome) -> dict:
+    """The result document minus fields that legitimately differ between
+    serial and batched execution (wall-clock timers, executor stamps)."""
+    doc = outcome.to_dict()
+    doc.pop("metadata", None)
+    doc.pop("timers", None)
+    return doc
+
+
+def bench_batch_daemon(batch_max: int, submissions: int):
+    """One daemon at ``batch_max``: a burst of same-shape submissions."""
+    with tempfile.TemporaryDirectory() as root:
+        with ScenarioServer(root, port=0, workers=1,
+                            batch_max=batch_max) as server:
+            client = ServeClient(port=server.port, timeout=120.0)
+            # Untimed warmup: pool spawn + workspace warm, as in bench_warm.
+            client.wait(client.submit(_batch_spec(10_000))["run_id"],
+                        timeout=300, poll=0.002)
+            specs = [_batch_spec(seed) for seed in range(submissions)]
+            start = time.perf_counter()
+            # Submit the whole burst first so the scheduler has a backlog to
+            # coalesce (the first run necessarily starts solo), then wait.
+            run_ids = [client.submit(spec)["run_id"] for spec in specs]
+            outcomes = [client.wait(run_id, timeout=300, poll=0.002)
+                        for run_id in run_ids]
+            elapsed = time.perf_counter() - start
+            batched_runs = server.stats()["daemon"]["batched_runs"]
+    for outcome in outcomes:
+        assert outcome.ok, outcome.error
+    row = {
+        "mode": f"batch_max={batch_max}",
+        "scenario": "localmode-switch",
+        "submissions": submissions,
+        "total_s": elapsed,
+        "per_run_ms": 1e3 * elapsed / submissions,
+        "runs_per_s": submissions / elapsed,
+        "batched_runs": batched_runs,
+    }
+    return row, outcomes
+
+
+def main_batch(batch_max: int, submissions: int = 17) -> None:
+    # 17 = 1 + 2*8: the first run necessarily dispatches solo (the queue is
+    # empty when it arrives), then the backlog coalesces into full groups.
+    serial_row, serial_outcomes = bench_batch_daemon(1, submissions)
+    batched_row, batched_outcomes = bench_batch_daemon(batch_max, submissions)
+    identical = all(
+        _comparable(a) == _comparable(b)
+        for a, b in zip(serial_outcomes, batched_outcomes)
+    )
+    speedup = serial_row["per_run_ms"] / batched_row["per_run_ms"]
+    serial_row["speedup_vs_serial"] = 1.0
+    batched_row["speedup_vs_serial"] = speedup
+    rows = [serial_row, batched_row]
+    print_table(
+        "same-shape submission coalescing: batching daemon vs serial daemon",
+        ["mode", "submissions", "per_run_ms", "runs_per_s", "batched_runs",
+         "speedup_vs_serial"],
+        rows,
+    )
+    ok = identical and speedup >= 2.0
+    finish("BENCH_serve_batch", {
+        "rows": rows,
+        "batch_max": batch_max,
+        "speedup_vs_serial": speedup,
+        "bit_identical": identical,
+        "ok": ok,
+    })
+    if not identical:
+        raise SystemExit(
+            "batched daemon results differ from the serial daemon's")
+    if speedup < 2.0:
+        raise SystemExit(
+            f"batched speedup {speedup:.2f}x is below the 2x budget")
+    print(f"\nbatched speedup {speedup:.2f}x >= 2x, "
+          "results bit-identical: ok")
+
+
 def main(submissions: int = 20) -> None:
     rows = []
     for name in WORKLOADS:
@@ -341,5 +443,10 @@ if __name__ == "__main__":
         count = int(sys.argv[position + 1]) \
             if len(sys.argv) > position + 1 else 2
         main_fleet(count)
+    elif "--batch" in sys.argv:
+        position = sys.argv.index("--batch")
+        size = int(sys.argv[position + 1]) \
+            if len(sys.argv) > position + 1 else 8
+        main_batch(size)
     else:
         main()

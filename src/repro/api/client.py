@@ -171,7 +171,8 @@ class ServeClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 idempotent: bool = False) -> Dict[str, Any]:
+                 idempotent: bool = False,
+                 deadline: Optional[float] = None) -> Dict[str, Any]:
         attempt = 0
         while True:
             try:
@@ -180,7 +181,8 @@ class ServeClient:
                 if (exc.status not in _TRANSIENT_STATUSES
                         or attempt >= self.retries):
                     raise
-                time.sleep(self._delay(attempt, exc.retry_after))
+                self._sleep_before_retry(
+                    self._delay(attempt, exc.retry_after), deadline)
             except ServeUnavailable:
                 # Connection failures are retried for GETs and for requests
                 # the caller marked idempotent (a submit with a caller-chosen
@@ -189,8 +191,24 @@ class ServeClient:
                 if (method != "GET" and not idempotent) \
                         or attempt >= self.retries:
                     raise
-                time.sleep(self._delay(attempt, None))
+                self._sleep_before_retry(self._delay(attempt, None), deadline)
             attempt += 1
+
+    @staticmethod
+    def _sleep_before_retry(delay: float, deadline: Optional[float]) -> None:
+        """Sleep before a retry, never past the caller's monotonic deadline.
+
+        An already-expired deadline re-raises the pending exception instead
+        of sleeping at all — a server Retry-After hint (up to the daemon's
+        60 s 429 cap) must not stall a short :meth:`wait` past its own
+        timeout budget.
+        """
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                raise
+            delay = min(delay, remaining)
+        time.sleep(delay)
 
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -295,9 +313,22 @@ class ServeClient:
         delay = max(0.001, float(poll))
         poll_cap = max(delay, float(poll_cap))
         while True:
-            record = self.status(run_id)
+            # The deadline rides into the transport layer: a transient
+            # refusal (429 burst, draining daemon) mid-wait retries with
+            # sleeps clamped to the remaining budget instead of honouring a
+            # Retry-After hint that outlives the wait itself.
+            try:
+                record = self._request("GET", f"/runs/{run_id}",
+                                       deadline=deadline)
+            except ServeError as exc:
+                if (exc.status in _TRANSIENT_STATUSES and deadline is not None
+                        and time.monotonic() >= deadline):
+                    raise ServeTimeout(run_id, "unknown", timeout) from exc
+                raise
             if record["status"] in ("done", "failed"):
-                return self.result(run_id)
+                payload = self._request("GET", f"/runs/{run_id}/result",
+                                        deadline=deadline)
+                return self.decode_outcome(payload)
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeTimeout(run_id, str(record["status"]), timeout)
             sleep = delay

@@ -43,7 +43,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor, as_completed,
+)
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro import faults
@@ -82,6 +84,21 @@ BatchOutcome = Union[RunResult, RunFailure]
 def _worker_init() -> None:
     global _WORKER_WORKSPACE
     _WORKER_WORKSPACE = KernelWorkspace()
+
+
+def _ensure_worker_workspace() -> KernelWorkspace:
+    """The process-local worker workspace, created on first use.
+
+    Unlike :func:`_worker_init` (which unconditionally installs a fresh
+    workspace in a brand-new worker process), this keeps an existing one —
+    the idempotent form thread-backend workers and inline execution need,
+    since they all share this process's module global (the workspace itself
+    is thread-safe; see :mod:`repro.perf.workspace`).
+    """
+    global _WORKER_WORKSPACE
+    if _WORKER_WORKSPACE is None:
+        _WORKER_WORKSPACE = KernelWorkspace()
+    return _WORKER_WORKSPACE
 
 
 def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
@@ -152,7 +169,15 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     Returns ``{"index", "ok": RunResult dict}`` on success and
     ``{"index", "failure": RunFailure dict}`` when the run raises, so the
     parent can do per-slot bookkeeping regardless of what went wrong.
+    Coalesced batch payloads (a ``"batch"`` key holding member payloads)
+    dispatch to :func:`repro.batch.executor.execute_batch_payload` and
+    return ``{"index", "batch": [per-member outcome dicts]}`` instead.
     """
+    if "batch" in payload:
+        # Imported lazily: repro.batch imports this module's machinery.
+        from repro.batch.executor import execute_batch_payload
+
+        return execute_batch_payload(payload)
     index = int(payload["index"])
     # A per-payload fault plan (the daemon's per-submission "faults" field)
     # arms only around this one run and is disarmed afterwards, so a pool
@@ -185,14 +210,32 @@ def _default_mp_context():
     return multiprocessing.get_context()
 
 
-class WorkerPool:
-    """First-class lifecycle of a persistent worker-process pool.
+#: Valid WorkerPool execution backends.
+POOL_BACKENDS = ("process", "thread", "serial")
 
-    The pool wraps a ``ProcessPoolExecutor`` whose workers outlive individual
-    submissions: each worker initialises one
+
+class WorkerPool:
+    """First-class lifecycle of a persistent worker pool.
+
+    The default (``backend="process"``) pool wraps a ``ProcessPoolExecutor``
+    whose workers outlive individual submissions: each worker initialises one
     :class:`~repro.perf.workspace.KernelWorkspace` (via :func:`_worker_init`)
     and keeps it warm for every payload it ever executes, so repeated
     submissions of similar scenarios skip phase-cache/stencil-plan rebuilds.
+
+    ``backend="thread"`` runs the same payloads on a ``ThreadPoolExecutor``
+    instead: every thread shares this process's single (thread-safe)
+    workspace, so the phase/stencil caches are amortised across *all*
+    workers, and there is no process spawn/fork cost — the right trade for
+    small numpy-bound runs whose kernels release the GIL, and the only
+    parallel option on platforms without usable ``fork``.  A dying thread
+    cannot break the pool the way a dying process can, but neither does it
+    isolate a crashing native extension.
+
+    ``backend="serial"`` forces inline execution regardless of ``workers``
+    (as does ``workers=0`` on any backend): payloads execute synchronously
+    in the calling process and ``submit`` returns an already-completed
+    future.
 
     Lifecycle:
 
@@ -201,26 +244,30 @@ class WorkerPool:
       starts fresh workers — the recovery step after a worker death;
     * :meth:`shutdown` ends the pool for good (also via ``with``).
 
-    ``workers=0`` is the inline pool: payloads execute synchronously in the
-    calling process (sharing one process-local workspace), and ``submit``
-    returns an already-completed future.  Thread-safe; both
-    :class:`ExecutionService` and :class:`repro.api.server.ScenarioServer`
-    drive their submissions through one shared instance.
+    Thread-safe; both :class:`ExecutionService` and
+    :class:`repro.api.server.ScenarioServer` drive their submissions through
+    one shared instance.
     """
 
-    def __init__(self, workers: int, mp_context=None) -> None:
+    def __init__(self, workers: int, mp_context=None,
+                 backend: str = "process") -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline execution)")
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {POOL_BACKENDS}, got {backend!r}"
+            )
         self.workers = int(workers)
+        self.backend = str(backend)
         self._mp_context = mp_context
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[Executor] = None
         self._generations = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
     def inline(self) -> bool:
-        return self.workers == 0
+        return self.workers == 0 or self.backend == "serial"
 
     @property
     def started(self) -> bool:
@@ -232,16 +279,26 @@ class WorkerPool:
         reused across submissions keeps this at 1."""
         return self._generations
 
-    def _ensure(self) -> ProcessPoolExecutor:
+    def _ensure(self) -> Executor:
         with self._lock:
             if self._executor is None:
-                context = self._mp_context if self._mp_context is not None \
-                    else _default_mp_context()
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=context,
-                    initializer=_worker_init,
-                )
+                if self.backend == "thread":
+                    # Threads share the process-local workspace; the
+                    # initializer only guarantees it exists (idempotent),
+                    # it must NOT replace a warm one per thread.
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-worker",
+                        initializer=_ensure_worker_workspace,
+                    )
+                else:
+                    context = self._mp_context if self._mp_context is not None \
+                        else _default_mp_context()
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=context,
+                        initializer=_worker_init,
+                    )
                 self._generations += 1
             return self._executor
 
@@ -253,9 +310,7 @@ class WorkerPool:
         outcomes from :func:`execute_payload`.
         """
         if self.inline:
-            global _WORKER_WORKSPACE
-            if _WORKER_WORKSPACE is None:
-                _worker_init()
+            _ensure_worker_workspace()
             future: "Future[Dict[str, Any]]" = Future()
             try:
                 future.set_result(execute_payload(payload))
@@ -325,6 +380,11 @@ class ExecutionService:
     mp_context:
         Optional ``multiprocessing`` context; defaults to ``fork`` where
         available.
+    backend:
+        Worker backend: ``"process"`` (default, isolated worker processes),
+        ``"thread"`` (threads sharing one thread-safe in-process workspace)
+        or ``"serial"`` (forced inline execution).  A borrowed pool's
+        backend wins; passing a conflicting value is an error.
     pool:
         Optional *borrowed* :class:`WorkerPool` to execute on.  When given,
         the service submits to it but never tears it down (the owner does) —
@@ -350,6 +410,7 @@ class ExecutionService:
                  keep: int = 0,
                  retention=None,
                  mp_context=None,
+                 backend: Optional[str] = None,
                  pool: Optional[WorkerPool] = None,
                  owner: Optional[str] = None,
                  lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
@@ -366,6 +427,20 @@ class ExecutionService:
                 f"workers={workers} does not match the borrowed pool's "
                 f"{pool.workers} workers"
             )
+        if pool is not None:
+            if backend is not None and backend != pool.backend:
+                raise ValueError(
+                    f"backend={backend!r} does not match the borrowed "
+                    f"pool's {pool.backend!r} backend"
+                )
+            backend = pool.backend
+        elif backend is None:
+            backend = "process"
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {POOL_BACKENDS}, got {backend!r}"
+            )
+        self.backend = str(backend)
         self.workers = int(workers)
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_every = (
@@ -398,7 +473,10 @@ class ExecutionService:
     def pool(self) -> WorkerPool:
         """The (shared, persistent) pool submissions execute on."""
         if self._pool is None:
-            self._pool = WorkerPool(self.workers, mp_context=self._mp_context)
+            self._pool = WorkerPool(
+                self.workers, mp_context=self._mp_context,
+                backend=self.backend,
+            )
         return self._pool
 
     def close(self) -> None:
@@ -488,7 +566,8 @@ class ExecutionService:
         # run that killed it, and the failure is unambiguously its own.
         for payload in pending:
             if payload.get("isolated"):
-                with WorkerPool(1, mp_context=self._mp_context) as solo:
+                with WorkerPool(1, mp_context=self._mp_context,
+                                backend=self.backend) as solo:
                     outcomes.update(self._run_pool(solo, [payload]))
         return [outcomes[int(payload["index"])] for payload in pending]
 

@@ -233,15 +233,29 @@ class BatchRunner:
     and the remaining scenarios still execute.  Pass ``raise_on_error=True``
     to re-raise the first failure instead.
 
+    ``batched=True`` goes one step further than cache amortisation: specs
+    sharing a :func:`~repro.batch.grouping.batch_key` (same engine, grid,
+    propagator, cadence — differing seeds/params) are driven in lockstep by
+    one :class:`~repro.batch.engine.BatchedEngine`, whose stacked kernels
+    advance all members per step in single vectorized calls.  Results are
+    bit-identical to the serial path and still come back in input order;
+    ``max_batch`` bounds the group size.
+
     For multi-process sharding of the same batch — plus checkpoint-based
     crash recovery — see :class:`repro.api.executor.ExecutionService`.
     """
 
-    def __init__(self, workspace: Optional[KernelWorkspace] = None) -> None:
+    def __init__(self, workspace: Optional[KernelWorkspace] = None,
+                 batched: bool = False,
+                 max_batch: Optional[int] = None) -> None:
         self.workspace = workspace if workspace is not None else KernelWorkspace()
+        self.batched = bool(batched)
+        self.max_batch = max_batch if max_batch is None else int(max_batch)
 
     def run(self, specs: Sequence[ScenarioSpec],
             raise_on_error: bool = False) -> List[Union[RunResult, RunFailure]]:
+        if self.batched:
+            return self._run_batched(list(specs), raise_on_error)
         results: List[Union[RunResult, RunFailure]] = []
         for spec in specs:
             try:
@@ -256,3 +270,40 @@ class BatchRunner:
             result.metadata["workspace_stats"] = dict(self.workspace.stats)
             results.append(result)
         return results
+
+    def _run_batched(self, specs: List[ScenarioSpec], raise_on_error: bool,
+                     ) -> List[Union[RunResult, RunFailure]]:
+        # Imported lazily: repro.batch imports this module (run_scenario).
+        from repro.batch.engine import BatchedEngine
+        from repro.batch.grouping import group_specs
+
+        slots: List[Optional[Union[RunResult, RunFailure]]] = [None] * len(specs)
+        for group in group_specs(specs, max_batch=self.max_batch):
+            if len(group) == 1:
+                index = group[0]
+                try:
+                    result = run_scenario(
+                        specs[index], workspace=self.workspace
+                    )
+                except Exception as exc:  # noqa: BLE001 - recorded in slot
+                    if raise_on_error:
+                        raise
+                    slots[index] = RunFailure.from_exception(
+                        specs[index].name, specs[index].engine, exc
+                    )
+                    continue
+                result.metadata["workspace_stats"] = dict(self.workspace.stats)
+                slots[index] = result
+                continue
+            engine = BatchedEngine(
+                [specs[index] for index in group], workspace=self.workspace
+            )
+            outcomes = engine.run(raise_on_error=raise_on_error)
+            for index, outcome in zip(group, outcomes):
+                if outcome.ok:
+                    outcome.metadata["workspace_stats"] = dict(
+                        self.workspace.stats
+                    )
+                slots[index] = outcome
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]

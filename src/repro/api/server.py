@@ -261,6 +261,19 @@ class ScenarioServer:
         (forwarded to the workers' stores).  Must comfortably exceed the
         checkpoint cadence; cross-host takeover waits this long after the
         owner's last save, same-host takeover is immediate on owner death.
+    batch_max:
+        Upper bound on same-shape coalescing.  With ``batch_max > 1`` the
+        scheduler scans the queue each time a slot frees up and groups up to
+        this many queued submissions sharing one
+        :func:`~repro.batch.grouping.batch_key` (and checkpoint cadence)
+        into a single worker payload, executed by one
+        :class:`~repro.batch.engine.BatchedEngine` — results stay
+        bit-identical to serial execution, throughput goes up by the
+        vectorization factor.  ``1`` (default) disables coalescing.
+    backend:
+        Worker backend of the persistent pool: ``"process"`` (default),
+        ``"thread"`` or ``"serial"`` — see
+        :class:`~repro.api.executor.WorkerPool`.
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
@@ -273,13 +286,17 @@ class ScenarioServer:
                  owner: Optional[str] = None,
                  lease_ttl: float = DEFAULT_LEASE_TTL_S,
                  fleet_ttl: float = DEFAULT_MEMBER_TTL_S,
-                 steal_interval: Optional[float] = None) -> None:
+                 steal_interval: Optional[float] = None,
+                 batch_max: int = 1,
+                 backend: str = "process") -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if checkpoint_every is not None and int(checkpoint_every) < 1:
             raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if int(batch_max) < 1:
+            raise ValueError("batch_max must be >= 1")
         self.root = Path(root)
         self.host = str(host)
         self.port = int(port)
@@ -312,7 +329,8 @@ class ScenarioServer:
         self.store = CheckpointStore(
             self.root / "checkpoints", keep=keep, retention=self.retention
         )
-        self.pool = WorkerPool(workers, mp_context=mp_context)
+        self.batch_max = int(batch_max)
+        self.pool = WorkerPool(workers, mp_context=mp_context, backend=backend)
         self.started_at = time.time()
         #: EWMA of finished-run wall time, the basis of Retry-After hints.
         self._avg_run_s: Optional[float] = None
@@ -331,6 +349,11 @@ class ScenarioServer:
         #: is a warm hit; a cold one pays worker spawn + import cost.
         self._pool_submissions = 0
         self._pool_cold = 0
+        #: How many runs executed as members of a coalesced (>1) batch.
+        self._batched_runs = 0
+        #: Outstanding pool submissions (a coalesced batch is ONE submission
+        #: occupying one worker slot, however many runs it carries).
+        self._inflight_groups = 0
 
         self._queue_dir = self.root / "queue"
         self._results_dir = self.root / "results"
@@ -943,23 +966,74 @@ class ScenarioServer:
     def _slots(self) -> int:
         return max(1, self.pool.workers)
 
+    def _batch_signature(self, record: RunRecord) -> Optional[tuple]:
+        """What must match for two queued records to share one batch.
+
+        The same-shape :func:`~repro.batch.grouping.batch_key` plus the
+        snapshot cadence (members of one batch share the worker's
+        ``checkpoint_every``).  ``None`` marks a record that must run solo:
+        an unparseable spec, or a per-submission fault plan (fault arming is
+        per-payload in the worker and must not leak onto batch neighbours).
+        """
+        if record.faults:
+            return None
+        from repro.batch.grouping import batch_key
+
+        try:
+            key = batch_key(ScenarioSpec.from_dict(record.spec))
+        except Exception:  # noqa: BLE001 - let the worker report the error
+            return None
+        return (key, record.checkpoint_every)
+
+    def _coalesce(self, record: RunRecord) -> List[RunRecord]:
+        """Queued records to run alongside ``record`` (caller holds _wake).
+
+        Scans the queue in order for records sharing ``record``'s batch
+        signature, removes the matches, and returns the members (head
+        first, queue order preserved) — at most ``batch_max`` in total.
+        """
+        members = [record]
+        if self.batch_max <= 1:
+            return members
+        signature = self._batch_signature(record)
+        if signature is None:
+            return members
+        for rid in list(self._queue):
+            if len(members) >= self.batch_max:
+                break
+            candidate = self._records[rid]
+            if self._batch_signature(candidate) != signature:
+                continue
+            self._queue.remove(rid)
+            members.append(candidate)
+        return members
+
     def _scheduler_loop(self) -> None:
         while True:
             with self._wake:
                 while not (
                     self._stopping
-                    or (self._queue and len(self._inflight) < self._slots())
+                    or (self._queue
+                        and self._inflight_groups < self._slots())
                 ):
                     self._wake.wait(timeout=1.0)
                 if self._stopping:
                     return
                 run_id = self._queue.popleft()
-                record = self._records[run_id]
-                record.status = "running"
-                record.started_at = time.time()
-                record.attempts += 1
-                payload = self._payload(record)
-                self._inflight[run_id] = None
+                members = self._coalesce(self._records[run_id])
+                payloads = []
+                for record in members:
+                    record.status = "running"
+                    record.started_at = time.time()
+                    record.attempts += 1
+                    payloads.append(self._payload(record))
+                    self._inflight[record.run_id] = None
+                if len(payloads) == 1:
+                    payload = payloads[0]
+                else:
+                    payload = {"index": members[0].seq, "batch": payloads}
+                run_ids = tuple(record.run_id for record in members)
+                self._inflight_groups += 1
             # Submit outside the lock: the inline pool executes synchronously.
             was_warm = self.pool.started
             try:
@@ -967,7 +1041,7 @@ class ScenarioServer:
             except Exception as exc:  # raced a pool that just broke
                 # Never let the scheduler thread die: a submit into a
                 # just-broken pool becomes a failed future, which the normal
-                # _on_done path treats as a pool break (reset + retry).
+                # done path treats as a pool break (reset + retry).
                 self.pool.reset()
                 future = Future()
                 future.set_exception(exc)
@@ -975,35 +1049,75 @@ class ScenarioServer:
                 self._pool_submissions += 1
                 if not was_warm:
                     self._pool_cold += 1
-                if run_id in self._inflight:
-                    self._inflight[run_id] = future
+                for rid in run_ids:
+                    if rid in self._inflight:
+                        self._inflight[rid] = future
             future.add_done_callback(
-                lambda fut, run_id=run_id: self._on_done(run_id, fut)
+                lambda fut, run_ids=run_ids: self._on_batch_done(run_ids, fut)
             )
 
-    def _on_done(self, run_id: str, future) -> None:
+    def _synthesized_failure(self, record: RunRecord,
+                             error: str) -> Dict[str, Any]:
+        return {
+            "failure": {
+                "scenario": str(record.spec.get("name", "?")),
+                "engine": str(record.spec.get("engine", "?")),
+                "error": error,
+                "traceback": "",
+                "attempts": record.attempts,
+            }
+        }
+
+    def _on_batch_done(self, run_ids, future) -> None:
+        """Completion callback of one pool submission (1..batch_max runs)."""
         with self._wake:
-            record = self._records[run_id]
-            self._inflight.pop(run_id, None)
+            records = [self._records[rid] for rid in run_ids]
+            for rid in run_ids:
+                self._inflight.pop(rid, None)
+            self._inflight_groups = max(0, self._inflight_groups - 1)
+            if len(records) > 1:
+                self._batched_runs += len(records)
+        pool_broken = False
+        outcomes: List[Dict[str, Any]]
+        try:
+            result = future.result()
+        except Exception as exc:  # the worker process died outright
+            pool_broken = True
+            error = f"{type(exc).__name__}: {exc}"
+            outcomes = [
+                self._synthesized_failure(record, error) for record in records
+            ]
+        else:
+            if "batch" in result:
+                by_index = {
+                    int(member.get("index", -1)): member
+                    for member in result["batch"]
+                    if isinstance(member, dict)
+                }
+                outcomes = [
+                    by_index.get(
+                        record.seq,
+                        self._synthesized_failure(
+                            record, "batch outcome is missing this member"
+                        ),
+                    )
+                    for record in records
+                ]
+            else:
+                outcomes = [result]
+        if pool_broken:
+            # One reset for the whole group; the per-record break accounting
+            # happens in _settle.
+            self.pool.reset()
+        for record, outcome in zip(records, outcomes):
+            self._settle(record, outcome, pool_broken)
+
+    def _settle(self, record: RunRecord, outcome: Dict[str, Any],
+                pool_broken: bool) -> None:
         # The run is neither queued nor in flight now, so the record is ours;
         # result/failure files are written OUTSIDE the lock (they can be MBs
         # of observable series — health/status polls must not block on them).
-        pool_broken = False
-        try:
-            outcome = future.result()
-        except Exception as exc:  # the worker process died outright
-            pool_broken = True
-            outcome = {
-                "failure": {
-                    "scenario": str(record.spec.get("name", "?")),
-                    "engine": str(record.spec.get("engine", "?")),
-                    "error": f"{type(exc).__name__}: {exc}",
-                    "traceback": "",
-                    "attempts": record.attempts,
-                }
-            }
         if pool_broken:
-            self.pool.reset()
             record.pool_breaks += 1
             if record.pool_breaks <= _POOL_BREAK_ALLOWANCE:
                 # A pool break is usually collateral damage from a *different*
@@ -1051,7 +1165,7 @@ class ScenarioServer:
                 record.status = "queued"
                 record.resume = True
                 record.error = str(outcome["failure"].get("error", ""))
-                self._queue.appendleft(run_id)
+                self._queue.appendleft(record.run_id)
                 self._wake.notify_all()
         else:
             record.finished_at = time.time()
@@ -1204,8 +1318,11 @@ class ScenarioServer:
                 "retention": self.retention_spec,
                 "lease_ttl": self.lease_ttl,
                 "draining": self._stopping,
+                "batch_max": self.batch_max,
+                "batched_runs": self._batched_runs,
                 "pool": {
                     "workers": self.pool.workers,
+                    "backend": self.pool.backend,
                     "started": self.pool.started,
                     "generations": self.pool.generations,
                     "submissions": submissions,

@@ -130,11 +130,12 @@ class FleetRegistry:
             beat = 0.0
         if mtime is not None:
             beat = max(beat, float(mtime))
-        if now - beat > ttl:
-            return True
-        # A same-host member whose pid is provably dead is stale right away,
-        # TTL notwithstanding — mirrors lease_stale's fast path.  "machine"
-        # is the member's hostname; "host" is its connect address.
+        # A same-host pid probe beats any wall-clock delta: an NTP step
+        # forward must not mass-expire provably live daemons, and a dead pid
+        # condemns a record no matter how fresh its heartbeat looks.  When
+        # the record carries an identity, let it decide outright ("machine"
+        # is the member's hostname; "host" its connect address; a foreign
+        # machine falls through to the TTL inside owner_alive).
         machine = record.get("machine")
         pid = record.get("pid")
         if machine is not None and pid:
@@ -142,7 +143,11 @@ class FleetRegistry:
                                                         "pid": pid,
                                                         "renewed_at": beat,
                                                         "ttl": ttl}, now=now)
-        return False
+        # No identity to probe: the TTL decides, with negative ages clamped
+        # to zero — a heartbeat stamped in the future (clock stepped
+        # backwards since the write) reads as "just now", not "live forever"
+        # once `now` catches back up past it.
+        return max(0.0, now - beat) > ttl
 
     def members(self, include_stale: bool = False,
                 now: Optional[float] = None) -> List[Dict[str, Any]]:

@@ -9,7 +9,13 @@ them so benchmark harnesses can print comparable rows.
 
 from repro.perf.timers import Timer, TimerRegistry, timed
 from repro.perf.flops import FlopCounter, stencil_flops, fft_flops
-from repro.perf.workspace import KernelWorkspace, LRUCache, StencilPlan, get_workspace
+from repro.perf.workspace import (
+    KernelWorkspace,
+    LRUCache,
+    StencilPlan,
+    WorkspaceThreadError,
+    get_workspace,
+)
 from repro.perf.metrics import (
     flops_rate,
     me_time_to_solution,
@@ -30,6 +36,7 @@ __all__ = [
     "KernelWorkspace",
     "LRUCache",
     "StencilPlan",
+    "WorkspaceThreadError",
     "get_workspace",
     "flops_rate",
     "me_time_to_solution",

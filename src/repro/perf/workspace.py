@@ -17,16 +17,37 @@ re-allocating large temporaries.  This module centralises that state:
   for the fused Laplacian engine in :mod:`repro.grid.stencil`.
 
 A process-wide default workspace is provided by :func:`get_workspace`; kernels
-accept an explicit workspace for callers that want isolated caches.  The
-workspace is **not** thread-safe: scratch buffers are handed out by name and
-concurrent kernels would stomp on each other's temporaries.
+accept an explicit workspace for callers that want isolated caches.
+
+Thread-safety contract
+----------------------
+The workspace is safe to share between threads (the ``backend="thread"``
+worker pools hand every thread the same instance so phase/plan caches are
+amortised across the whole pool):
+
+* The phase and plan caches have a **lock-free read path** — lookups touch the
+  underlying dict with single (GIL-atomic) operations and never block; only
+  insertions take the cache lock.  Cached arrays are immutable (read-only
+  flags), so a value observed by any thread is always fully built.
+* Scratch buffers come from **per-thread pools** keyed on ``threading.get_ident``
+  — two threads asking for the same ``(tag, shape, dtype)`` get distinct
+  buffers, so concurrent kernels can no longer stomp on each other's
+  temporaries.  Within one thread the old reuse guarantees hold unchanged.
+* Constructing with ``per_thread_scratch=False`` restores the single shared
+  scratch pool for callers that want strict buffer reuse; that pool is pinned
+  to the first thread that uses it and any cross-thread ``scratch()`` call
+  raises :class:`WorkspaceThreadError` instead of silently corrupting results.
+
+Hit/miss counters are maintained without locks and may undercount slightly
+under heavy contention; they are diagnostics, not ground truth.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -34,8 +55,20 @@ from repro.units import SPEED_OF_LIGHT_AU
 from repro.utils.mathutils import finite_difference_coefficients
 
 
+class WorkspaceThreadError(RuntimeError):
+    """Cross-thread use of a scratch pool that is pinned to one thread."""
+
+
 class LRUCache:
-    """A small least-recently-used mapping with hit/miss accounting."""
+    """A small least-recently-used mapping with hit/miss accounting.
+
+    Reads are lock-free: ``get`` touches the backing ``OrderedDict`` only
+    through single bytecode-atomic operations, so concurrent readers never
+    block each other.  Mutations (``put``/``clear``) serialise on an internal
+    lock.  Recency bookkeeping and the hit/miss counters are best-effort under
+    concurrency (a racing eviction can make ``move_to_end`` miss), which only
+    perturbs eviction order — never the returned values.
+    """
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -44,6 +77,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -53,23 +87,31 @@ class LRUCache:
 
     def get(self, key: Hashable):
         """Return the cached value or ``None``, updating recency and stats."""
-        if key in self._data:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        try:
             self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
+        except KeyError:
+            # Lost a race with an eviction; the value we read is still valid.
+            pass
+        self.hits += 1
+        return value
 
     def put(self, key: Hashable, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 @dataclass(frozen=True)
@@ -117,15 +159,27 @@ class KernelWorkspace:
         LRU capacity of the kinetic-phase cache (one entry per distinct
         ``(grid, dt, A)`` combination).
     max_scratch_entries:
-        LRU capacity of the scratch-buffer pool (one entry per distinct
+        LRU capacity of each scratch-buffer pool (one entry per distinct
         ``(tag, shape, dtype)``).
+    per_thread_scratch:
+        When true (the default) every thread gets its own scratch pool, making
+        the workspace safe to share between threads.  When false a single
+        shared pool is kept for strict buffer reuse; it is pinned to the first
+        thread that calls :meth:`scratch` and cross-thread access raises
+        :class:`WorkspaceThreadError`.
     """
 
     def __init__(self, max_phase_entries: int = 32,
-                 max_scratch_entries: int = 64) -> None:
+                 max_scratch_entries: int = 64,
+                 per_thread_scratch: bool = True) -> None:
         self._phases = LRUCache(max_phase_entries)
-        self._scratch = LRUCache(max_scratch_entries)
+        self._max_scratch_entries = max_scratch_entries
+        self.per_thread_scratch = bool(per_thread_scratch)
+        self._scratch_pools: Dict[int, LRUCache] = {}
+        self._scratch_lock = threading.Lock()
+        self._scratch_owner: Optional[int] = None
         self._plans: dict = {}
+        self._plan_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Kinetic phase cache
@@ -150,7 +204,7 @@ class KernelWorkspace:
         """Cached ``exp(-i dt (k + A/c)^2 / 2)`` for a uniform vector potential.
 
         The returned array is marked read-only: it is shared between every
-        caller that hits the same ``(grid, dt, A)`` key.
+        caller (and every thread) that hits the same ``(grid, dt, A)`` key.
         """
         if vector_potential is None:
             a_key = None
@@ -175,44 +229,82 @@ class KernelWorkspace:
         plan = self._plans.get(key)
         if plan is None:
             plan = StencilPlan.build(key[0], key[1])
-            self._plans[key] = plan
+            with self._plan_lock:
+                # Racing builders produce identical frozen plans; keep the
+                # first so repeated lookups stay `is`-stable.
+                plan = self._plans.setdefault(key, plan)
         return plan
 
     # ------------------------------------------------------------------
     # Scratch buffers
     # ------------------------------------------------------------------
+    def _scratch_pool(self) -> LRUCache:
+        ident = threading.get_ident()
+        if not self.per_thread_scratch:
+            if self._scratch_owner is None:
+                with self._scratch_lock:
+                    if self._scratch_owner is None:
+                        self._scratch_owner = ident
+                        self._scratch_pools[0] = LRUCache(self._max_scratch_entries)
+            if self._scratch_owner != ident:
+                raise WorkspaceThreadError(
+                    "KernelWorkspace(per_thread_scratch=False) scratch pool is "
+                    f"pinned to thread {self._scratch_owner}; scratch() called "
+                    f"from thread {ident}. Use per_thread_scratch=True (the "
+                    "default) to share a workspace between threads."
+                )
+            return self._scratch_pools[0]
+        pool = self._scratch_pools.get(ident)
+        if pool is None:
+            with self._scratch_lock:
+                pool = self._scratch_pools.setdefault(
+                    ident, LRUCache(self._max_scratch_entries))
+        return pool
+
     def scratch(self, tag: Hashable, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
         """A reusable buffer for the given ``(tag, shape, dtype)``.
 
         The contents are undefined on entry; callers must fully overwrite the
         buffer before reading it.  Two call sites that could be live at the
-        same time must use distinct tags.
+        same time must use distinct tags.  Buffers are never shared between
+        threads: each thread draws from its own pool (or, with
+        ``per_thread_scratch=False``, only the owning thread may call this).
         """
         dtype = np.dtype(dtype)
         key = (tag, tuple(int(n) for n in shape), dtype.str)
-        buffer = self._scratch.get(key)
+        pool = self._scratch_pool()
+        buffer = pool.get(key)
         if buffer is None:
             buffer = np.empty(key[1], dtype=dtype)
-            self._scratch.put(key, buffer)
+            pool.put(key, buffer)
         return buffer
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Drop every cached phase, plan and scratch buffer."""
         self._phases.clear()
-        self._scratch.clear()
-        self._plans.clear()
+        with self._scratch_lock:
+            self._scratch_pools.clear()
+            self._scratch_owner = None
+        with self._plan_lock:
+            self._plans.clear()
 
     @property
     def stats(self) -> dict:
-        """Cache statistics (sizes and hit/miss counters)."""
+        """Cache statistics (sizes and hit/miss counters).
+
+        Scratch counters aggregate over every per-thread pool;
+        ``scratch_pools`` reports how many thread pools exist.
+        """
+        pools = list(self._scratch_pools.values())
         return {
             "phase_entries": len(self._phases),
             "phase_hits": self._phases.hits,
             "phase_misses": self._phases.misses,
-            "scratch_entries": len(self._scratch),
-            "scratch_hits": self._scratch.hits,
-            "scratch_misses": self._scratch.misses,
+            "scratch_entries": sum(len(pool) for pool in pools),
+            "scratch_hits": sum(pool.hits for pool in pools),
+            "scratch_misses": sum(pool.misses for pool in pools),
+            "scratch_pools": len(pools),
             "plan_entries": len(self._plans),
         }
 

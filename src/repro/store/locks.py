@@ -218,7 +218,11 @@ def lease_remaining(lease: Optional[Dict[str, Any]],
         ttl = float(lease.get("ttl", DEFAULT_LEASE_TTL_S))
     except (TypeError, ValueError):
         return 0.0
-    return max(0.0, renewed + ttl - now)
+    # Clock-skew clamp: `renewed_at` in the future (the writer's NTP stepped
+    # forward, or this reader's stepped backward) must never report more than
+    # one full TTL remaining — otherwise a skewed heartbeat reads as freshly
+    # renewed forever and the lease becomes untakeable.
+    return max(0.0, min(renewed + ttl - now, ttl))
 
 
 def lease_stale(lease: Optional[Dict[str, Any]],

@@ -235,6 +235,43 @@ class TestMembership:
         assert registry.prune(now=time.time() + 1e6) == 1  # not the temp
         assert temp.exists()
 
+    # -- clock skew: pid liveness must beat wall-clock arithmetic ------
+    def test_forward_clock_step_keeps_live_pids_live(self, tmp_path):
+        # An NTP step (or a reader with a fast clock) makes every heartbeat
+        # look ancient; a provably live same-host pid must still read live
+        # instead of the whole fleet mass-expiring.
+        registry = FleetRegistry(tmp_path, ttl=1.0)
+        registry.join({"owner": "serve:h:live", "machine": HOSTNAME,
+                       "pid": os.getpid()})
+        skewed_now = time.time() + 3600.0
+        members = registry.members(now=skewed_now)
+        assert len(members) == 1 and members[0]["stale"] is False
+
+    def test_dead_pid_is_stale_despite_future_heartbeat(self, tmp_path):
+        # The converse: a heartbeat stamped in the future (writer's clock
+        # stepped back after the write) must not shield a dead daemon.
+        registry = FleetRegistry(tmp_path, ttl=3600.0)
+        member_id = registry.join({"owner": "serve:h:dead",
+                                   "machine": HOSTNAME, "pid": _dead_pid()})
+        path = registry.members_dir / f"{member_id}.json"
+        record = json.loads(path.read_text())
+        record["heartbeat_at"] = time.time() + 3600.0
+        path.write_text(json.dumps(record))
+        assert registry.members() == []
+        assert registry.members(include_stale=True)[0]["stale"] is True
+
+    def test_future_heartbeat_without_identity_reads_as_just_now(self,
+                                                                 tmp_path):
+        # No pid to probe: a future-stamped beat is clamped to "age zero"
+        # (live), and goes stale once `now` catches up a TTL past it —
+        # never "live forever" and never negative-age weirdness.
+        registry = FleetRegistry(tmp_path, ttl=10.0)
+        beat = 1000.0
+        record = {"owner": "serve:h:skew", "ttl": 10.0, "heartbeat_at": beat}
+        assert not registry.member_stale(record, now=beat - 500.0)
+        assert not registry.member_stale(record, now=beat + 9.0)
+        assert registry.member_stale(record, now=beat + 11.0)
+
 
 # ----------------------------------------------------------------------
 # Daemon integration: join on start, leave on drain, identity routes
@@ -487,7 +524,9 @@ class TestIdempotentSubmit:
 class TestWaitBackoff:
     def test_poll_delays_double_up_to_the_cap(self, monkeypatch):
         client = ServeClient(port=1, timeout=1.0, retries=0)
-        client.status = lambda run_id: {"status": "queued"}
+        monkeypatch.setattr(
+            client, "_request_once",
+            lambda method, path, body=None: {"status": "queued"})
         sleeps = []
         monkeypatch.setattr("repro.api.client.time.sleep", sleeps.append)
         with pytest.raises(ServeTimeout) as excinfo:

@@ -212,6 +212,18 @@ class TestLeaseFunctions:
         assert not lease_stale(lease, now=104.0)
         assert lease_stale(lease, now=111.0)
 
+    def test_future_renewed_lease_never_reports_more_than_one_ttl(self):
+        # Clock skew: a renewed_at stamped in the future (writer's NTP
+        # stepped forward, or this reader's stepped back) must read as at
+        # most one freshly-renewed TTL — not hours of remaining lease that
+        # would make the run untakeable and stall every claim-scan backoff.
+        lease = {"owner": "a", "renewed_at": 7200.0, "ttl": 10.0}
+        assert lease_remaining(lease, now=100.0) == pytest.approx(10.0)
+        assert not lease_stale(lease, now=100.0)
+        # Once the reader's clock catches up, normal TTL expiry resumes.
+        assert lease_remaining(lease, now=7205.0) == pytest.approx(5.0)
+        assert lease_stale(lease, now=7211.0)
+
     def test_release_only_for_the_owner(self):
         manifest = {"scenario": "s", "run_id": "r"}
         claim_lease(manifest, "alice", pid=os.getpid())
@@ -502,10 +514,47 @@ class TestClientRetry:
             client._request("GET", "/health")
         assert len(calls) == 3
 
+    def test_retry_sleep_is_clamped_to_the_deadline(self):
+        # A 60 s Retry-After hint must not stall a caller whose own wait
+        # deadline is 50 ms away: the sleep is clamped to the remaining
+        # budget, and an already-expired deadline re-raises the pending
+        # error without sleeping at all.
+        start = time.monotonic()
+        try:
+            raise ServeError(429, "queue is full")
+        except ServeError:
+            ServeClient._sleep_before_retry(60.0, time.monotonic() + 0.05)
+        assert time.monotonic() - start < 5.0
+
+        with pytest.raises(ServeError):
+            try:
+                raise ServeError(429, "queue is full")
+            except ServeError:
+                ServeClient._sleep_before_retry(60.0, time.monotonic() - 1.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_wait_transient_errors_respect_the_deadline(self, monkeypatch):
+        # A daemon answering nothing but 429 + huge Retry-After: wait()
+        # must give up at its own timeout with the typed error instead of
+        # honouring hints that outlive the budget.
+        client = ServeClient(retries=50, backoff=0.01, backoff_cap=0.01)
+
+        def always_full(method, path, body=None):
+            raise ServeError(429, "queue is full", retry_after=60.0)
+
+        monkeypatch.setattr(client, "_request_once", always_full)
+        start = time.monotonic()
+        with pytest.raises((ServeTimeout, ServeError)) as excinfo:
+            client.wait("r0", timeout=0.2, poll=0.01)
+        assert time.monotonic() - start < 5.0
+        if isinstance(excinfo.value, ServeError):
+            assert excinfo.value.status == 429
+
     def test_wait_timeout_is_typed(self, monkeypatch):
         client = ServeClient()
         monkeypatch.setattr(
-            client, "status", lambda run_id: {"status": "running"}
+            client, "_request_once",
+            lambda method, path, body=None: {"status": "running"}
         )
         with pytest.raises(ServeTimeout) as excinfo:
             client.wait("slow", timeout=0.05, poll=0.01)
