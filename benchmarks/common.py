@@ -70,7 +70,13 @@ def finish(name: str, payload, argv: Optional[Sequence[str]] = None) -> Path:
     command line (``argv`` overrides ``sys.argv`` for tests), and returns
     the results-dir path.
     """
-    document = {"schema": BENCH_SCHEMA, "bench": name, "payload": payload}
+    try:  # record whether telemetry instrumentation was live for this run
+        from repro.telemetry import enabled as _telemetry_enabled
+        telemetry_enabled = bool(_telemetry_enabled())
+    except Exception:  # noqa: BLE001 - benchmarks must not require telemetry
+        telemetry_enabled = None
+    document = {"schema": BENCH_SCHEMA, "bench": name,
+                "telemetry_enabled": telemetry_enabled, "payload": payload}
     path = write_result(name, document)
     with open(HISTORY_PATH, "a", encoding="utf-8") as handle:
         handle.write(json.dumps({**document, "ts": time.time()},

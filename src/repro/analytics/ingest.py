@@ -3,9 +3,10 @@
 The daemon ingests results as they finish (the post-run hook in
 :mod:`repro.api.server`); this module covers everything that already exists
 on disk — ``repro serve`` result directories, loose ``RunResult`` JSON
-dumps, batch outcome arrays, and ``benchmarks/**/*.json`` / ``.ndjson``
-``repro-bench/1`` documents.  :func:`classify` recognises each shape;
-:func:`backfill` walks paths and ingests every recognisable document.
+dumps, batch outcome arrays, ``benchmarks/**/*.json`` / ``.ndjson``
+``repro-bench/1`` documents, and telemetry ``spans.ndjson`` logs.
+:func:`classify` recognises each shape; :func:`backfill` walks paths and
+ingests every recognisable document.
 
 Because warehouse ingestion is idempotent on (scenario, run id) — and on a
 content-hash ``doc_id`` for bench documents — backfill can be re-run over
@@ -25,6 +26,7 @@ from repro.analytics.warehouse import AnalyticsError, Warehouse
 KIND_RESULT = "result"          # a bare RunResult dict
 KIND_OUTCOME = "outcome"        # a serve/CLI wrapper: {"ok": ...}/{"failure"}
 KIND_BENCH = "bench"            # a repro-bench/1 document
+KIND_SPAN = "span"              # one telemetry span (a spans.ndjson line)
 KIND_FAILURE = "failure"        # an outcome that carries no result
 KIND_UNKNOWN = "unknown"
 
@@ -41,6 +43,9 @@ def classify(document: Any) -> str:
         return KIND_UNKNOWN
     if document.get("schema") == "repro-bench/1":
         return KIND_BENCH
+    if "trace_id" in document and "span_id" in document \
+            and "name" in document:
+        return KIND_SPAN
     if "ok" in document or "failure" in document:
         inner = document.get("ok")
         if isinstance(inner, Mapping) and "times" in inner:
@@ -131,8 +136,12 @@ def backfill(warehouse: Warehouse, paths: Iterable[Any],
     """
     report: Dict[str, Any] = {
         "files": 0, "ingested": 0, "skipped": 0, "failures": 0,
-        "unknown": 0, "errors": [], "runs": [],
+        "unknown": 0, "spans": 0, "errors": [], "runs": [],
     }
+    # Span records are grouped by run id and ingested one run at a time, so
+    # the warehouse's per-run-id dedup makes span backfill idempotent too.
+    span_groups: Dict[str, List[Mapping[str, Any]]] = {}
+    span_sources: Dict[str, str] = {}
     for path in iter_files(paths):
         report["files"] += 1
         for document, source in _iter_documents(path):
@@ -143,6 +152,14 @@ def backfill(warehouse: Warehouse, paths: Iterable[Any],
             if kind == KIND_FAILURE:
                 # Failed runs carry no series; they are counted, not stored.
                 report["failures"] += 1
+                continue
+            if kind == KIND_SPAN:
+                report["spans"] += 1
+                key = str(document.get("run_id")
+                          or document.get("trace_id")
+                          or content_id(document))
+                span_groups.setdefault(key, []).append(document)
+                span_sources.setdefault(key, source)
                 continue
             try:
                 if kind == KIND_BENCH:
@@ -170,4 +187,19 @@ def backfill(warehouse: Warehouse, paths: Iterable[Any],
                 report["runs"].append(list(tag))
             else:
                 report["skipped"] += 1
+    for run_id in sorted(span_groups):
+        try:
+            outcome = warehouse.ingest_spans(
+                span_groups[run_id], run_id=run_id,
+                ingested_at=ingested_at,
+            )
+        except (AnalyticsError, ValueError) as exc:
+            report["errors"].append({"source": span_sources[run_id],
+                                     "error": str(exc)})
+            continue
+        if outcome["ingested"]:
+            report["ingested"] += 1
+            report["runs"].append([outcome["partition"], outcome["run_id"]])
+        else:
+            report["skipped"] += 1
     return report

@@ -124,6 +124,58 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _fmt_seconds(value: Any) -> str:
+    if value is None:
+        return "-"
+    value = float(value)
+    if value < 1e-3:
+        return f"{value * 1e6:.0f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f} ms"
+    return f"{value:.2f} s"
+
+
+#: Histograms surfaced as dashboard latency rows, in display order.
+_LATENCY_ROWS = (
+    ("queue wait", "repro_serve_queue_wait_seconds"),
+    ("run", "repro_serve_run_seconds"),
+    ("store save", "repro_store_save_seconds"),
+)
+
+
+def _telemetry_lines(section: Dict[str, Any]) -> list:
+    """Dashboard lines for one ``/v1/stats`` telemetry section.
+
+    Old daemons serve no ``telemetry`` key at all; callers gate on that, and
+    this function additionally tolerates missing metrics/histograms so a
+    partially populated section degrades to fewer rows, never a crash.
+    """
+    from repro.telemetry import quantile
+
+    lines = ["telemetry"]
+    lines.append(f"  {'enabled':<32} "
+                 f"{'yes' if section.get('enabled') else 'no'}")
+    written = (section.get("spans") or {}).get("written")
+    if written is not None:
+        lines.append(f"  {'spans written':<32} {int(written)}")
+    metrics = section.get("metrics") or {}
+    bounds = metrics.get("bounds")
+    for label, name in _LATENCY_ROWS:
+        hist = (metrics.get("histograms") or {}).get(name)
+        if not hist or not hist.get("count"):
+            continue
+        snap = dict(hist)
+        if bounds is not None and "bounds" not in snap:
+            snap["bounds"] = bounds
+        p50, p95, p99 = (quantile(snap, q) for q in (0.5, 0.95, 0.99))
+        lines.append(
+            f"  {label + ' p50/p95/p99':<32} "
+            f"{_fmt_seconds(p50)} / {_fmt_seconds(p95)} / "
+            f"{_fmt_seconds(p99)}  ({int(hist['count'])} samples)"
+        )
+    return lines
+
+
 def render_dashboard(stats: Dict[str, Any]) -> str:
     """One stats snapshot (live ``/v1/stats`` or offline scan) as text."""
     lines = []
@@ -152,6 +204,10 @@ def render_dashboard(stats: Dict[str, Any]) -> str:
         ):
             if value is not None:
                 lines.append(f"  {label:<32} {_fmt(value)}")
+
+    telemetry_section = stats.get("telemetry")
+    if telemetry_section:
+        lines.extend(_telemetry_lines(telemetry_section))
 
     fleet = stats.get("fleet")
     if fleet:

@@ -74,6 +74,9 @@ ANALYTICS_FORMAT = 1
 #: Reserved partition name of the bench-document table.
 BENCH_PARTITION = "_bench"
 
+#: Reserved partition name of the telemetry span table.
+SPANS_PARTITION = "_spans"
+
 MANIFEST_NAME = "PARTITION.json"
 
 
@@ -179,6 +182,40 @@ def bench_table(document: Mapping[str, Any], doc_id: str,
     for key, value in sorted(numeric_leaves(payload, prefix="metric.").items()):
         cols[key] = [value]
     return Table(cols)
+
+
+def spans_table(spans: Iterable[Mapping[str, Any]], run_id: str) -> Table:
+    """One run's telemetry span records as a long-format ``spans`` table.
+
+    One row per span: identity columns (``run_id``/``trace_id``/``span_id``/
+    ``parent``), the span ``name`` and ``scenario``, numeric ``ts``/``dur``,
+    and the ``attrs`` dict as one canonical-JSON text column — span attrs are
+    open-ended, so exploding them into columns would fragment the schema.
+    """
+    rows = [dict(record) for record in spans if isinstance(record, Mapping)]
+
+    def _text(key: str) -> List[str]:
+        return [str(row.get(key) or "") for row in rows]
+
+    def _num(key: str) -> np.ndarray:
+        return np.asarray(
+            [float(row[key]) if isinstance(row.get(key), (int, float))
+             else float("nan") for row in rows],
+            dtype=float,
+        )
+
+    return Table({
+        "run_id": [str(run_id)] * len(rows),
+        "trace_id": _text("trace_id"),
+        "span_id": _text("span_id"),
+        "parent": _text("parent"),
+        "name": _text("name"),
+        "scenario": _text("scenario"),
+        "ts": _num("ts"),
+        "dur": _num("dur"),
+        "attrs": [json.dumps(row.get("attrs") or {}, sort_keys=True)
+                  for row in rows],
+    })
 
 
 class Warehouse:
@@ -361,6 +398,27 @@ class Warehouse:
         report["doc_id"] = doc_id
         return report
 
+    def ingest_spans(self, spans: Iterable[Mapping[str, Any]], run_id: str,
+                     ingested_at: Optional[float] = None) -> Dict[str, Any]:
+        """Ingest one run's telemetry spans, idempotent on ``run_id``.
+
+        All of a run's spans land in ONE chunk keyed by the run id — the
+        same dedup discipline as results, so re-ingesting a backfilled or
+        replayed run's span log never double-counts rows.
+        """
+        run_id = validate_key(str(run_id), "run_id")
+        records = [record for record in spans if isinstance(record, Mapping)]
+        if not records:
+            return {"partition": SPANS_PARTITION, "ingested": [],
+                    "skipped": [], "chunk": None, "run_id": run_id,
+                    "rows": 0}
+        when = float(ingested_at if ingested_at is not None else time.time())
+        tables = {"spans": spans_table(records, run_id)}
+        report = self._append_chunk(SPANS_PARTITION, tables, [run_id], when)
+        report["run_id"] = run_id
+        report["rows"] = tables["spans"].num_rows if report["ingested"] else 0
+        return report
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -419,13 +477,18 @@ class Warehouse:
     def query(self, partition: str, table: Optional[str] = None):
         """A :class:`~repro.analytics.query.Query` over one partition table.
 
-        ``table`` defaults to ``series`` for scenario partitions and
-        ``bench`` for the bench partition.
+        ``table`` defaults to ``series`` for scenario partitions, ``bench``
+        for the bench partition and ``spans`` for the spans partition.
         """
         from repro.analytics.query import Query
 
         if table is None:
-            table = "bench" if partition == BENCH_PARTITION else "series"
+            if partition == BENCH_PARTITION:
+                table = "bench"
+            elif partition == SPANS_PARTITION:
+                table = "spans"
+            else:
+                table = "series"
         return Query(self, partition, table)
 
     # ------------------------------------------------------------------

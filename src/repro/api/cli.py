@@ -28,6 +28,10 @@ Subcommands
 ``status [run-id]`` / ``fetch <run-id> [--json PATH]`` / ``shutdown``
     Poll one run (or all of them), download a finished
     :class:`~repro.api.result.RunResult`, or stop the daemon.
+``trace <run-id>``
+    Render a run's telemetry span tree (queue wait, pool dispatch, worker
+    execution, store saves, fleet hops) from ``GET /v1/runs/<id>/trace``;
+    works against a daemon or the fleet router.
 ``fleet route/ls/status``
     Multi-daemon fleets over one shared state root: run the load-balancing
     router gateway (:class:`~repro.fleet.router.FleetRouter` — the same wire
@@ -455,6 +459,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
 
+    trace = sub.add_parser(
+        "trace", help="render one run's telemetry span tree (queue wait, "
+                      "worker execution, store saves, fleet hops)")
+    trace.add_argument("run_id", help="run id whose trace to render")
+    _add_client_args(trace)
+    _add_json_arg(trace, "the raw span records")
+
     shutdown = sub.add_parser("shutdown", help="stop a serve daemon")
     _add_client_args(shutdown)
     shutdown.add_argument("--no-drain", action="store_true",
@@ -822,6 +833,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import telemetry
+
+    payload = _client(args).trace(args.run_id)
+    if args.json_path is not None:
+        _write_json(json.dumps(payload, indent=2), args.json_path, quiet=True)
+        return 0
+    spans = payload.get("spans") or []
+    print(f"run {payload.get('run_id')} "
+          f"[{payload.get('scenario', '?')}]: {len(spans)} span(s)")
+    print(telemetry.render_tree(spans))
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     ack = _client(args).shutdown(drain=not args.no_drain)
     print(f"daemon at {args.host}:{args.port} stopping "
@@ -840,6 +865,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": lambda: _cmd_submit(args),
         "status": lambda: _cmd_status(args),
         "fetch": lambda: _cmd_fetch(args),
+        "trace": lambda: _cmd_trace(args),
         "shutdown": lambda: _cmd_shutdown(args),
         "fleet": lambda: _cmd_fleet(args),
         "store": lambda: _cmd_store(args),

@@ -123,13 +123,14 @@ class ServeClient:
         )
 
     def _request_once(self, method: str, path: str,
-                      body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                      body: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None) -> Dict[str, Any]:
         payload = None
         headers = {}
         if body is not None:
             payload = json.dumps(body)
             headers["Content-Type"] = "application/json"
-        connection = self._connect()
+        connection = self._connect(timeout=timeout)
         try:
             connection.request(method, API_PREFIX + path, body=payload,
                                headers=headers)
@@ -172,11 +173,18 @@ class ServeClient:
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  idempotent: bool = False,
-                 deadline: Optional[float] = None) -> Dict[str, Any]:
+                 deadline: Optional[float] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        # Only thread a timeout through when the caller set one: wrapped
+        # transports (tests, proxies) that predate the kwarg keep working
+        # on the default path.
+        kwargs: Dict[str, Any] = {"body": body}
+        if timeout is not None:
+            kwargs["timeout"] = timeout
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, body=body)
+                return self._request_once(method, path, **kwargs)
             except ServeError as exc:
                 if (exc.status not in _TRANSIENT_STATUSES
                         or attempt >= self.retries):
@@ -225,10 +233,41 @@ class ServeClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Deep observability snapshot (``/v1/stats``): queue depth, EWMA
-        run time, warm-pool hit rate, store footprint, lease states."""
-        return self._request("GET", "/stats")
+        run time, warm-pool hit rate, store footprint, lease states,
+        telemetry snapshot.  ``timeout`` overrides the client default for
+        this one request — stats scan the state root on disk, which can
+        outlast a short default on a big deployment."""
+        return self._request("GET", "/stats", timeout=timeout)
+
+    def metrics(self, timeout: Optional[float] = None) -> str:
+        """Prometheus text exposition of the daemon's telemetry registry
+        (``GET /v1/metrics``) — the protocol's one non-JSON route, hence
+        the raw transport path."""
+        connection = self._connect(timeout=timeout)
+        try:
+            connection.request("GET", f"{API_PREFIX}/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServeUnavailable(
+                f"no repro daemon reachable at {self.host}:{self.port} ({exc})"
+            ) from exc
+        finally:
+            connection.close()
+        if response.status >= 400:
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 - any junk body
+                message = f"HTTP {response.status}"
+            raise ServeError(response.status, str(message))
+        return raw.decode("utf-8")
+
+    def trace(self, run_id: str,
+              timeout: Optional[float] = None) -> Dict[str, Any]:
+        """One run's span records (``GET /v1/runs/<id>/trace``)."""
+        return self._request("GET", f"/runs/{run_id}/trace", timeout=timeout)
 
     def scenarios(self) -> List[str]:
         return list(self._request("GET", "/scenarios")["scenarios"])
@@ -238,6 +277,7 @@ class ServeClient:
                run_id: Optional[str] = None,
                checkpoint_every: Optional[int] = None,
                faults: Optional[Union[str, Dict[str, str]]] = None,
+               trace: Optional[Dict[str, Any]] = None,
                ) -> Dict[str, Any]:
         """Queue one run; returns the daemon's ack (run_id, position, ...).
 
@@ -245,7 +285,9 @@ class ServeClient:
         registered scenario *name*, optionally with dotted-path ``overrides``
         that the daemon applies server-side.  ``faults`` is an optional fault
         plan (``"point=action@N,..."`` — see :mod:`repro.faults`) armed in the
-        worker for this one run; chaos testing only.
+        worker for this one run; chaos testing only.  ``trace`` continues an
+        existing trace context (``{"trace_id": ..., "parent": ...}``) instead
+        of letting the daemon mint a fresh one.
         """
         body: Dict[str, Any] = {}
         if isinstance(spec, ScenarioSpec):
@@ -267,6 +309,8 @@ class ServeClient:
             body["checkpoint_every"] = int(checkpoint_every)
         if faults:
             body["faults"] = faults
+        if trace:
+            body["trace"] = dict(trace)
         # A caller-supplied run id makes the submit idempotent end to end:
         # the daemon answers a replay of the same (id, spec) with a dedup
         # ack instead of 409, so connection failures may be retried.

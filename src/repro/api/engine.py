@@ -35,10 +35,12 @@ exactly the numbers the uninterrupted ones would.
 from __future__ import annotations
 
 import abc
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import telemetry
 from repro.api.result import RunResult, _plain, revive
 from repro.api.spec import ScenarioSpec
 from repro.perf.timers import TimerRegistry
@@ -272,9 +274,22 @@ class EngineAdapter(abc.ABC):
         completed run's store ends on a resumable (and already-complete)
         checkpoint.
         """
+        # Pre-resolve the histograms once so the per-step cost with
+        # telemetry enabled is two perf_counter reads and one bucket add;
+        # with it disabled the loop body is byte-for-byte the old one.
+        step_hist = telemetry.histogram(
+            "repro_engine_step_seconds", "one native engine step"
+        ) if telemetry.enabled() else None
+        steps_driven = 0
         while self._step < num_steps:
-            self._advance(1)
+            if step_hist is not None:
+                t0 = _perf_counter()
+                self._advance(1)
+                step_hist.observe(_perf_counter() - t0)
+            else:
+                self._advance(1)
             self._step += 1
+            steps_driven += 1
             if self._step % record_every == 0:
                 self.record()
             if on_checkpoint is not None and (
@@ -284,6 +299,9 @@ class EngineAdapter(abc.ABC):
             ):
                 with self.timers.measure("checkpoint"):
                     on_checkpoint(self.checkpoint())
+        if steps_driven:
+            telemetry.incr("repro_engine_steps_total", steps_driven,
+                           "native engine steps driven")
         return self.result()
 
     def run(self, num_steps: Optional[int] = None,

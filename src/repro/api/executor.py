@@ -48,7 +48,7 @@ from concurrent.futures import (
 )
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro import faults
+from repro import faults, telemetry
 from repro.api.adapters import build_engine
 from repro.api.result import RunFailure, RunResult
 from repro.api.spec import ScenarioSpec
@@ -101,6 +101,26 @@ def _ensure_worker_workspace() -> KernelWorkspace:
     return _WORKER_WORKSPACE
 
 
+#: Metrics snapshot as of this worker's previous report, so repeated reports
+#: ship deltas — the daemon folding them in never double-counts.
+_TELEMETRY_BASELINE: Optional[Dict[str, Any]] = None
+
+
+def _telemetry_report() -> Optional[Dict[str, Any]]:
+    """This process's metrics delta since the last report (or None when
+    telemetry is disabled).  Stamped with the worker pid so the daemon can
+    tell a foreign (process-backend) snapshot — which it must merge — from
+    its own registry reported back by a thread/serial worker (already
+    counted, must be skipped)."""
+    global _TELEMETRY_BASELINE
+    if not telemetry.enabled():
+        return None
+    snap = telemetry.snapshot()
+    delta = telemetry.subtract_snapshot(snap, _TELEMETRY_BASELINE)
+    _TELEMETRY_BASELINE = snap
+    return {"pid": os.getpid(), "metrics": delta}
+
+
 def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
     workspace = _WORKER_WORKSPACE if _WORKER_WORKSPACE is not None \
         else KernelWorkspace()
@@ -125,26 +145,67 @@ def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
             lease_ttl=float(payload.get("lease_ttl") or DEFAULT_LEASE_TTL_S),
         )
         on_checkpoint = lambda ckpt: store.save(ckpt, run_id=run_id)  # noqa: E731
+
+    # Trace context rides the payload (same vehicle as the lease identity):
+    # when present, this attempt appends its spans — one per attempt, one per
+    # checkpoint save — to the run's crash-tolerant span log, continuing the
+    # trace_id the submitter (or the previous owner) started.
+    trace_ctx = payload.get("trace")
+    writer = None
+    run_span = None
+    if isinstance(trace_ctx, dict) and trace_ctx.get("trace_id") \
+            and store is not None:
+        writer = telemetry.SpanWriter(
+            store.run_dir(spec.name, run_id) / telemetry.SPAN_LOG_NAME
+        )
+        run_span = telemetry.start_span(
+            "worker.run", trace_ctx, scenario=spec.name, run_id=run_id,
+            attrs={"pid": os.getpid(),
+                   "attempt": int(payload.get("attempt", 1)),
+                   "resume": bool(payload.get("resume"))},
+        )
+        save_ctx = telemetry.child_context(trace_ctx, run_span)
+        plain_save = on_checkpoint
+
+        def on_checkpoint(ckpt, _save=plain_save, _ctx=save_ctx):
+            with telemetry.span("store.save", _ctx, writer=writer,
+                                scenario=spec.name, run_id=run_id,
+                                attrs={"step": ckpt.get("step")}):
+                return _save(ckpt)
+
     faults.point(FAULT_WORKER_PRE_RUN)
 
     resumed_from = None
-    if payload.get("resume") and store is not None:
-        snapshot = store.latest(spec.name, run_id)
-        if snapshot is not None:
-            resumed_from = int(snapshot.get("step", 0))
-            result = engine.resume(
-                snapshot,
-                checkpoint_every=checkpoint_every,
-                on_checkpoint=on_checkpoint,
-            )
+    try:
+        if payload.get("resume") and store is not None:
+            snapshot = store.latest(spec.name, run_id)
+            if snapshot is not None:
+                resumed_from = int(snapshot.get("step", 0))
+                result = engine.resume(
+                    snapshot,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                )
+            else:
+                result = engine.run(
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                )
         else:
             result = engine.run(
                 checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint
             )
-    else:
-        result = engine.run(
-            checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint
+    except BaseException:
+        if run_span is not None and writer is not None:
+            telemetry.finish_span(run_span, {"ok": False})
+            writer.write(run_span)
+        raise
+    if run_span is not None and writer is not None:
+        telemetry.finish_span(
+            run_span, {"ok": True, "resumed_from_step": resumed_from}
         )
+        writer.write(run_span)
+    telemetry.incr("repro_worker_runs_total", 1, "payloads executed to a result")
     result.metadata["executor"] = {
         "worker_pid": os.getpid(),
         "run_id": run_id,
@@ -152,6 +213,9 @@ def _run_payload(spec: ScenarioSpec, payload: Dict[str, Any]) -> RunResult:
         "resumed_from_step": resumed_from,
     }
     result.metadata["workspace_stats"] = dict(workspace.stats)
+    report = _telemetry_report()
+    if report is not None:
+        result.metadata["telemetry"] = report
     if store is not None:
         # The run is complete: drop the ownership lease so the run id is
         # immediately claimable (best-effort — an unreleased lease merely

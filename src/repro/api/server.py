@@ -43,7 +43,11 @@ Wire protocol (newline-delimited JSON over HTTP/1.0; see README "Serving")::
     GET  /v1/health               daemon + pool + queue statistics
     GET  /v1/stats                deep observability: queue depth, EWMA run
                                   time, warm-pool hit rate, store footprint,
-                                  lease states, analytics ingest counters
+                                  lease states, analytics ingest counters,
+                                  telemetry snapshot (when enabled)
+    GET  /v1/metrics              Prometheus text exposition (0.0.4) of the
+                                  daemon's telemetry registry
+    GET  /v1/runs/<id>/trace      the run's span records (JSON)
     GET  /v1/fleet                fleet membership (live + stale members)
     GET  /v1/scenarios            registered scenario names
     POST /v1/shutdown             {"drain": bool} — stop accepting and exit
@@ -69,7 +73,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
 import repro
-from repro import faults
+from repro import faults, telemetry
 from repro.api.executor import WorkerPool
 from repro.api.registry import default_registry
 from repro.api.spec import ScenarioSpec
@@ -155,6 +159,15 @@ def _without_keep_every(policy: Optional[RetentionPolicy],
     return policy
 
 
+def _journalled_trace(entry: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """A journal entry's trace context, when it carries a usable one."""
+    trace = entry.get("trace")
+    if isinstance(trace, dict) and trace.get("trace_id"):
+        return {"trace_id": str(trace["trace_id"]),
+                "parent": trace.get("parent")}
+    return None
+
+
 class ServerError(RuntimeError):
     """A request the daemon refused; carries the HTTP status to answer with.
 
@@ -186,6 +199,10 @@ class RunRecord:
     #: Per-submission fault plan (chaos testing); rides the worker payload
     #: but is never journalled, so a recovered run replays clean.
     faults: Optional[Union[str, Dict[str, str]]] = None
+    #: Trace context (``{"trace_id": ..., "parent": ...}``).  Unlike the
+    #: fault plan this IS journalled: a daemon restart, a retry, or a fleet
+    #: steal keeps appending spans under the same trace.
+    trace: Optional[Dict[str, Any]] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -384,6 +401,7 @@ class ScenarioServer:
             "spec": record.spec,
             "checkpoint_every": record.checkpoint_every,
             "submitted_at": record.submitted_at,
+            "trace": record.trace,
             # Ownership: which daemon is responsible for this run.  The pid/
             # host pair is what makes a dead daemon's claims provably stale.
             "owner": self.owner,
@@ -512,6 +530,7 @@ class ScenarioServer:
                 resume=True,
                 recovered=True,
                 submitted_at=float(entry.get("submitted_at", time.time())),
+                trace=_journalled_trace(entry),
             )
             self._records[run_id] = record
             self._queue.append(run_id)
@@ -521,6 +540,15 @@ class ScenarioServer:
                     self._journal(record)
                 except (OSError, faults.InjectedFault):
                     pass  # adoption stamp is cosmetic; the replay still runs
+            if owner and owner != self.owner:
+                # Taking over a dead peer's run at startup is the same
+                # adoption event the steal loop records mid-flight.
+                telemetry.incr("repro_fleet_adoptions_total", 1,
+                               "orphaned runs adopted from dead fleet peers")
+                self._write_run_span(
+                    record, "fleet.adopt", ts=time.time(), dur=0.0,
+                    attrs={"owner": self.owner, "previous_owner": owner},
+                )
 
     def _housekeep(self) -> None:
         """Bound the state directory on startup replay.
@@ -581,11 +609,88 @@ class ScenarioServer:
                 pass
 
     # ------------------------------------------------------------------
+    # Telemetry: span persistence + metric folding
+    # ------------------------------------------------------------------
+    def _span_writer(self, record: RunRecord
+                     ) -> Optional[telemetry.SpanWriter]:
+        """A writer for ``record``'s span log, or None when the run has no
+        trace context (telemetry off at submit time) or a bogus scenario."""
+        if not isinstance(record.trace, dict) \
+                or not record.trace.get("trace_id"):
+            return None
+        scenario = str(record.spec.get("name", ""))
+        if not scenario:
+            return None
+        try:
+            validate_key(scenario, "scenario")
+        except ValueError:
+            return None
+        return telemetry.SpanWriter(
+            telemetry.span_log_path(self.store.root, scenario, record.run_id)
+        )
+
+    def _write_run_span(self, record: RunRecord, name: str, *, ts: float,
+                        dur: float,
+                        attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Append one externally measured span to ``record``'s span log.
+
+        Best effort, like all telemetry: a full disk or an injected fault
+        must never fail the run being observed.
+        """
+        writer = self._span_writer(record)
+        if writer is None:
+            return
+        span_record = telemetry.completed_span(
+            name, record.trace, ts=ts, dur=dur,
+            scenario=str(record.spec.get("name", "")),
+            run_id=record.run_id, attrs=attrs,
+        )
+        try:
+            writer.write(span_record)
+        except faults.InjectedFault:
+            pass
+
+    def _write_carried_span(self, record: RunRecord,
+                            span_record: Dict[str, Any]) -> None:
+        """Flush a span a previous hop (the router) finished before the run
+        directory existed; its identity fields are already stamped."""
+        writer = self._span_writer(record)
+        if writer is None:
+            return
+        flushed = dict(span_record)
+        if not flushed.get("scenario"):
+            flushed["scenario"] = str(record.spec.get("name", ""))
+        if not flushed.get("run_id"):
+            flushed["run_id"] = record.run_id
+        try:
+            writer.write(flushed)
+        except faults.InjectedFault:
+            pass
+
+    def _merge_worker_telemetry(self, metadata: Dict[str, Any]) -> None:
+        """Fold a process-pool worker's metrics delta into this registry.
+
+        Thread/serial workers share the daemon's registry (same pid), so
+        their reports are skipped — merging them would double-count.
+        """
+        report = metadata.get("telemetry")
+        if not isinstance(report, dict) or report.get("pid") == os.getpid():
+            return
+        delta = report.get("metrics")
+        if not isinstance(delta, dict):
+            return
+        try:
+            telemetry.merge_snapshot(delta)
+        except Exception:  # noqa: BLE001 - telemetry must not fail the run
+            pass
+
+    # ------------------------------------------------------------------
     # Submission + scheduling
     # ------------------------------------------------------------------
     def submit(self, spec: Dict[str, Any], run_id: Optional[str] = None,
                checkpoint_every: Optional[int] = None,
                fault_plan: Optional[Union[str, Dict[str, str]]] = None,
+               trace: Optional[Dict[str, Any]] = None,
                ) -> Dict[str, Any]:
         """Queue one spec dict; returns the acknowledged record + position.
 
@@ -618,6 +723,25 @@ class ScenarioServer:
                 faults.parse_plan(fault_plan)
             except faults.FaultPlanError as exc:
                 raise ServerError(400, f"invalid fault plan: {exc}") from exc
+        # Trace context: a caller-supplied one (the router's, typically) is
+        # continued; otherwise a root context is minted when telemetry is on.
+        # Spans a previous hop already finished ride in under "spans" and are
+        # flushed into the run's span log once the submission is claimed.
+        carried_spans: List[Dict[str, Any]] = []
+        trace_ctx: Optional[Dict[str, Any]] = None
+        if trace is not None:
+            if not isinstance(trace, dict) or not trace.get("trace_id"):
+                raise ServerError(
+                    400, "'trace' must be an object with a 'trace_id'"
+                )
+            trace_ctx = {"trace_id": str(trace["trace_id"]),
+                         "parent": trace.get("parent")}
+            carried_spans = [
+                span for span in (trace.get("spans") or [])
+                if isinstance(span, dict)
+            ]
+        elif telemetry.enabled():
+            trace_ctx = telemetry.new_context()
         auto_id = run_id is None
         if run_id is not None:
             # The run id becomes journal/result/checkpoint file names — the
@@ -659,6 +783,7 @@ class ScenarioServer:
                 spec=validated.to_dict(),
                 checkpoint_every=checkpoint_every,
                 faults=fault_plan,
+                trace=trace_ctx,
             )
             self._seq += 1
             # Inserting the record reserves the run id; the journal fsync
@@ -671,6 +796,10 @@ class ScenarioServer:
             with self._wake:
                 self._records.pop(record.run_id, None)
             raise
+        for span_record in carried_spans:
+            self._write_carried_span(record, span_record)
+        telemetry.incr("repro_serve_submissions_total", 1,
+                       "accepted run submissions")
         with self._wake:
             self._queue.append(record.run_id)
             position = len(self._queue)
@@ -745,6 +874,7 @@ class ScenarioServer:
                     # adopt it — resubmitting the same work is idempotent.
                     record.resume = True
                     record.recovered = True
+                    record.trace = _journalled_trace(entry) or record.trace
                     if owner is None:
                         try:
                             self._journal(record)
@@ -762,9 +892,11 @@ class ScenarioServer:
                 )
             # Stale foreign claim: adopt the run.  Resume from its stored
             # snapshots so the takeover continues the run bit-identically
-            # instead of restarting it.
+            # instead of restarting it — under the same trace, so the span
+            # log reads as one story across owners.
             record.resume = True
             record.recovered = True
+            record.trace = _journalled_trace(entry) or record.trace
             self._journal(record)
             return
 
@@ -866,6 +998,7 @@ class ScenarioServer:
                 resume=True,
                 recovered=True,
                 submitted_at=float(current.get("submitted_at", time.time())),
+                trace=_journalled_trace(current),
             )
             with self._wake:
                 if self._stopping or run_id in self._records:
@@ -883,6 +1016,13 @@ class ScenarioServer:
             with self._wake:
                 self._queue.append(run_id)
                 self._wake.notify_all()
+            telemetry.incr("repro_fleet_adoptions_total", 1,
+                           "orphaned runs adopted from dead fleet peers")
+            self._write_run_span(
+                record, "fleet.adopt", ts=time.time(), dur=0.0,
+                attrs={"owner": self.owner,
+                       "previous_owner": entry.get("owner")},
+            )
             # Only the WINNER unlinks the claim file: a loser unlinking it
             # while the entry is still claimable would let two late racers
             # flock different inodes of the same path simultaneously.  After
@@ -961,6 +1101,8 @@ class ScenarioServer:
         }
         if record.faults:
             payload["faults"] = record.faults
+        if record.trace:
+            payload["trace"] = record.trace
         return payload
 
     def _slots(self) -> int:
@@ -1034,6 +1176,15 @@ class ScenarioServer:
                     payload = {"index": members[0].seq, "batch": payloads}
                 run_ids = tuple(record.run_id for record in members)
                 self._inflight_groups += 1
+            # Queue-wait observability, outside the lock (span writes are
+            # I/O): ack-to-dispatch latency per member.
+            for record in members:
+                wait = max(0.0, record.started_at - record.submitted_at)
+                telemetry.observe("repro_serve_queue_wait_seconds", wait,
+                                  "submission ack to pool dispatch")
+                self._write_run_span(record, "serve.queue",
+                                     ts=record.submitted_at, dur=wait,
+                                     attrs={"attempt": record.attempts})
             # Submit outside the lock: the inline pool executes synchronously.
             was_warm = self.pool.started
             try:
@@ -1132,6 +1283,10 @@ class ScenarioServer:
             )
             record.finished_at = time.time()
             self._persist_outcome(record, {"ok": outcome["ok"]})
+            self._merge_worker_telemetry(outcome["ok"].get("metadata", {}))
+            self._observe_settled(record, "done")
+            # Ingest after the serve.run span lands so the warehouse sees
+            # the complete span log for this run.
             self._ingest_analytics(record, outcome["ok"])
             with self._wake:
                 record.status = "done"
@@ -1172,11 +1327,24 @@ class ScenarioServer:
             failure = dict(outcome["failure"])
             failure["attempts"] = record.attempts
             self._persist_outcome(record, {"failure": failure})
+            self._observe_settled(record, "failed")
             with self._wake:
                 record.status = "failed"
                 record.error = str(failure.get("error", ""))
                 self._observe_run_time(record)
                 self._wake.notify_all()
+
+    def _observe_settled(self, record: RunRecord, status: str) -> None:
+        """Fold one terminal outcome into metrics + the run's span log."""
+        if record.started_at is None or record.finished_at is None:
+            return
+        elapsed = max(0.0, record.finished_at - record.started_at)
+        telemetry.observe("repro_serve_run_seconds", elapsed,
+                          "pool dispatch to settled outcome")
+        self._write_run_span(record, "serve.run", ts=record.started_at,
+                             dur=elapsed,
+                             attrs={"status": status,
+                                    "attempts": record.attempts})
 
     def _observe_run_time(self, record: RunRecord) -> None:
         """Fold one finished run's wall time into the EWMA (holding _wake)."""
@@ -1204,6 +1372,18 @@ class ScenarioServer:
             bucket = "ingested" if report["ingested"] else "skipped"
         except Exception:  # noqa: BLE001 - observability must stay best-effort
             bucket = "errors"
+        if isinstance(record.trace, dict) and record.trace.get("trace_id"):
+            # The run's span log rides along into the warehouse; span
+            # ingestion dedups on run_id just like results do.
+            try:
+                scenario = validate_key(
+                    str(record.spec.get("name", "")), "scenario")
+                spans = telemetry.read_spans(telemetry.span_log_path(
+                    self.store.root, scenario, record.run_id))
+                if spans:
+                    self.analytics.ingest_spans(spans, run_id=record.run_id)
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                pass
         with self._wake:
             self._analytics_counts[bucket] += 1
 
@@ -1335,9 +1515,51 @@ class ScenarioServer:
             "daemon": daemon,
             "store": store_stats(self.root),
         }
+        tsnap = telemetry.snapshot()
+        written = tsnap["counters"].get(
+            "repro_spans_written_total", {}
+        ).get("value", 0.0)
+        snapshot["telemetry"] = {
+            "enabled": telemetry.enabled(),
+            "metrics": tsnap,
+            "spans": {"written": written},
+        }
         if self.analytics is not None:
             snapshot["analytics"] = warehouse_stats(self.analytics)
         return snapshot
+
+    def trace_payload(self, run_id: str) -> Dict[str, Any]:
+        """One run's span records (the ``/v1/runs/<id>/trace`` endpoint).
+
+        Spans live in the run's store directory, so traces of runs finished
+        by a previous daemon incarnation — or written by fleet peers sharing
+        the root — are served too.  404 only for an entirely unknown id.
+        """
+        scenario: Optional[str] = None
+        with self._wake:
+            record = self._records.get(run_id)
+            if record is not None:
+                scenario = str(record.spec.get("name", ""))
+        if not scenario:
+            outcome = self._load_outcome(run_id)
+            if outcome is not None:
+                summary = outcome.get("ok") or outcome.get("failure") or {}
+                scenario = summary.get("scenario") \
+                    or (outcome.get("spec") or {}).get("name")
+            else:
+                entry = self._read_journal(run_id)
+                if entry is not None:
+                    scenario = (entry.get("spec") or {}).get("name")
+        if not scenario:
+            raise ServerError(404, f"unknown run id {run_id!r}")
+        try:
+            validate_key(run_id, "run_id")
+            validate_key(str(scenario), "scenario")
+        except ValueError as exc:
+            raise ServerError(400, str(exc)) from exc
+        path = telemetry.span_log_path(self.store.root, str(scenario), run_id)
+        return {"run_id": run_id, "scenario": str(scenario),
+                "spans": telemetry.read_spans(path)}
 
     def iter_events(self, run_id: str, from_step: int = 0,
                     poll: float = _POLL_S) -> Iterator[Dict[str, Any]]:
@@ -1533,6 +1755,16 @@ def _make_handler(daemon: ScenarioServer):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, text: str, status: int = 200,
+                       content_type: str =
+                       "text/plain; version=0.0.4; charset=utf-8") -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _send_error_json(self, status: int, message: str,
                              retry_after: Optional[float] = None) -> None:
             body = (json.dumps({"error": message}) + "\n").encode("utf-8")
@@ -1577,6 +1809,8 @@ def _make_handler(daemon: ScenarioServer):
                 return self._send_json(daemon.health())
             if parts == ["stats"]:
                 return self._send_json(daemon.stats())
+            if parts == ["metrics"]:
+                return self._send_text(telemetry.render_prometheus())
             if parts == ["fleet"]:
                 return self._send_json(
                     {"members": daemon.registry.members(include_stale=True)}
@@ -1591,6 +1825,8 @@ def _make_handler(daemon: ScenarioServer):
                 return self._send_json(daemon.record_dict(parts[1]))
             if len(parts) == 3 and parts[0] == "runs" and parts[2] == "result":
                 return self._send_json(daemon.result_payload(parts[1]))
+            if len(parts) == 3 and parts[0] == "runs" and parts[2] == "trace":
+                return self._send_json(daemon.trace_payload(parts[1]))
             if len(parts) == 3 and parts[0] == "runs" and parts[2] == "events":
                 try:
                     from_step = int(query.get("from", ["0"])[0])
@@ -1610,6 +1846,7 @@ def _make_handler(daemon: ScenarioServer):
                     run_id=body.get("run_id"),
                     checkpoint_every=body.get("checkpoint_every"),
                     fault_plan=body.get("faults"),
+                    trace=body.get("trace"),
                 )
                 return self._send_json(ack, status=202)
             if parts == ["shutdown"]:

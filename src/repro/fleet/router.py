@@ -38,12 +38,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro import faults
+from repro import faults, telemetry
 from repro.api.client import ServeClient, ServeError, ServeUnavailable
 from repro.api.registry import default_registry
 from repro.api.server import (
     API_PREFIX, DEFAULT_PORT, ServerError, resolve_submission_spec,
 )
+from repro.api.store import validate_key
 from repro.fleet.membership import DEFAULT_MEMBER_TTL_S, FleetRegistry
 
 FAULT_ROUTER_PRE_PROXY = faults.register(
@@ -222,15 +223,49 @@ class FleetRouter:
         identical submission already journalled or finished is acknowledged
         as a duplicate instead of surfacing the conflict.
         """
+        # Trace: continue the caller's context or mint a root one, and wrap
+        # the routing decision in a "router.submit" span.  The span finishes
+        # BEFORE forwarding (the run directory doesn't exist yet here), so it
+        # rides the forwarded context as a carried span the owning daemon
+        # flushes into the run's span log.
+        incoming = body.get("trace") if isinstance(body.get("trace"), dict) \
+            else None
+        trace_ctx = incoming
+        if trace_ctx is None and telemetry.enabled():
+            trace_ctx = telemetry.new_context()
+        router_span = None
+        if isinstance(trace_ctx, dict) and trace_ctx.get("trace_id"):
+            router_span = telemetry.start_span(
+                "router.submit", trace_ctx,
+                attrs={"router": f"{self.host}:{self.port}"},
+            )
         spec = resolve_submission_spec(body)
         run_id = body.get("run_id")
         forward = {"spec": spec}
         for field in ("run_id", "checkpoint_every", "faults"):
             if body.get(field) is not None:
                 forward[field] = body[field]
+        ranked = self._ranked()
+        if router_span is not None:
+            telemetry.finish_span(router_span, {"members": len(ranked)})
+            telemetry.incr("repro_router_submissions_total", 1,
+                           "submissions routed by the fleet router")
+        if isinstance(trace_ctx, dict) and trace_ctx.get("trace_id"):
+            carried = [span for span in (incoming or {}).get("spans", [])
+                       if isinstance(span, dict)]
+            context = trace_ctx
+            if router_span is not None:
+                context = telemetry.child_context(trace_ctx, router_span)
+                carried.append({key: value
+                                for key, value in router_span.items()
+                                if not key.startswith("_")})
+            forward["trace"] = {"trace_id": context["trace_id"],
+                                "parent": context.get("parent")}
+            if carried:
+                forward["trace"]["spans"] = carried
         hints: List[float] = []
         refusals: List[str] = []
-        for key, _member in self._ranked():
+        for key, _member in ranked:
             client = self._client(key)
             try:
                 faults.point(FAULT_ROUTER_PRE_PROXY)
@@ -365,6 +400,25 @@ class FleetRouter:
                 "owner": entry.get("owner"),
             }
         raise ServerError(404, f"unknown run id {run_id!r}")
+
+    def trace_payload(self, run_id: str) -> Dict[str, Any]:
+        """One run's span records, read straight from the shared store —
+        works whichever member(s) executed the run, and after all of them
+        are gone (the same durability argument as :meth:`result`)."""
+        record = self.status(run_id)  # 404s unknown ids
+        scenario = str(record.get("scenario") or "")
+        try:
+            validate_key(run_id, "run_id")
+            if scenario and scenario != "?":
+                validate_key(scenario, "scenario")
+        except ValueError as exc:
+            raise ServerError(400, str(exc)) from exc
+        spans: List[Dict[str, Any]] = []
+        if scenario and scenario != "?":
+            spans = telemetry.read_spans(telemetry.span_log_path(
+                self.root / "checkpoints", scenario, run_id
+            ))
+        return {"run_id": run_id, "scenario": scenario, "spans": spans}
 
     def result(self, run_id: str) -> Dict[str, Any]:
         # The shared store is authoritative for finished runs — no proxy
@@ -582,6 +636,16 @@ def _make_handler(router: FleetRouter):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, text: str, status: int = 200,
+                       content_type: str =
+                       "text/plain; version=0.0.4; charset=utf-8") -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _read_body(self) -> Dict[str, Any]:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b""
@@ -615,6 +679,10 @@ def _make_handler(router: FleetRouter):
                 return self._send_json(router.health())
             if parts == ["stats"]:
                 return self._send_json(router.stats())
+            if parts == ["metrics"]:
+                # The ROUTER's own registry (routed counts, span writes) —
+                # each member serves its own /v1/metrics.
+                return self._send_text(telemetry.render_prometheus())
             if parts == ["fleet"]:
                 return self._send_json(router.fleet_overview())
             if parts == ["scenarios"]:
@@ -628,6 +696,9 @@ def _make_handler(router: FleetRouter):
             if len(parts) == 3 and parts[0] == "runs" \
                     and parts[2] == "result":
                 return self._send_json(router.result(parts[1]))
+            if len(parts) == 3 and parts[0] == "runs" \
+                    and parts[2] == "trace":
+                return self._send_json(router.trace_payload(parts[1]))
             if len(parts) == 3 and parts[0] == "runs" \
                     and parts[2] == "events":
                 try:

@@ -45,12 +45,16 @@ under heavy contention; they are diagnostics, not ground truth.
 from __future__ import annotations
 
 import threading
+import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+# The metrics module only (not the telemetry package) to keep this low-level
+# import light; recording is zero-cost until telemetry is enabled.
+from repro.telemetry import metrics as _telemetry
 from repro.units import SPEED_OF_LIGHT_AU
 from repro.utils.mathutils import finite_difference_coefficients
 
@@ -214,10 +218,25 @@ class KernelWorkspace:
         key = (grid.shape, grid.lengths, float(dt), a_key)
         phase = self._phases.get(key)
         if phase is None:
-            kinetic = self.kinetic_energy_grid(grid, vector_potential)
-            phase = np.exp(-1j * float(dt) * kinetic)
+            if _telemetry.enabled():
+                t0 = _time.perf_counter()
+                kinetic = self.kinetic_energy_grid(grid, vector_potential)
+                phase = np.exp(-1j * float(dt) * kinetic)
+                _telemetry.observe(
+                    "repro_workspace_phase_build_seconds",
+                    _time.perf_counter() - t0,
+                    "kinetic phase built on a cache miss",
+                )
+                _telemetry.incr("repro_workspace_phase_misses_total", 1,
+                                "kinetic phase cache misses")
+            else:
+                kinetic = self.kinetic_energy_grid(grid, vector_potential)
+                phase = np.exp(-1j * float(dt) * kinetic)
             phase.setflags(write=False)
             self._phases.put(key, phase)
+        else:
+            _telemetry.incr("repro_workspace_phase_hits_total", 1,
+                            "kinetic phase cache hits")
         return phase
 
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import faults
+from repro.telemetry import metrics as _telemetry
 from repro.store.codec import decode_state, encode_state, read_blob, write_blob
 from repro.store.errors import CheckpointError
 from repro.store.legacy import LegacyCheckpointStore, legacy_steps
@@ -177,6 +178,7 @@ class RunStore:
             raise CheckpointError("checkpoint step must be >= 0")
         scenario = str(checkpoint["scenario"])
         directory = self.run_dir(scenario, run_id)
+        t0 = _time.perf_counter() if _telemetry.enabled() else None
         with self._lock(scenario, run_id), self._run_lock(directory):
             directory.mkdir(parents=True, exist_ok=True)
             manifest = read_manifest(directory)
@@ -273,6 +275,12 @@ class RunStore:
             self._remove_snapshot_entries(manifest, doomed)
             write_manifest(directory, manifest)
             self._unlink_blobs(directory, doomed)
+        if t0 is not None:
+            _telemetry.observe("repro_store_save_seconds",
+                               _time.perf_counter() - t0,
+                               "one checkpoint save (lock to manifest commit)")
+            _telemetry.incr("repro_store_saves_total", 1,
+                            "checkpoint saves committed")
         return path
 
     @staticmethod

@@ -1,0 +1,40 @@
+"""End-to-end telemetry for the serving stack.
+
+Two halves, both ambient and both zero-cost until switched on (via the
+``REPRO_TELEMETRY`` environment variable or :func:`enable`):
+
+* :mod:`repro.telemetry.metrics` — a process-local registry of counters,
+  gauges, and log-bucketed histograms with snapshot/merge semantics (so
+  process-pool workers fold into the daemon's view) and Prometheus text
+  rendering for ``GET /v1/metrics``.
+* :mod:`repro.telemetry.trace` — spans with an explicit trace context that
+  rides the submit body, the journal, and the worker payload, persisted as
+  crash-tolerant NDJSON under each run's store directory.
+
+Importing this package registers the ``telemetry.*`` fault points used by
+the chaos kill matrix.
+"""
+
+from repro.telemetry.metrics import (
+    BUCKET_BOUNDS, Counter, ENV_VAR, FAULT_METRICS_PRE_MERGE, Gauge,
+    Histogram, MetricsRegistry, configure, counter, disable, enable,
+    enabled, gauge, histogram, incr, merge_snapshot, observe, quantile,
+    registry, render_prometheus, reset, set_gauge, snapshot,
+    subtract_snapshot,
+)
+from repro.telemetry.trace import (
+    FAULT_SPAN_PRE_WRITE, SPAN_LOG_NAME, SpanWriter, child_context,
+    completed_span, finish_span, new_context, new_span_id, new_trace_id,
+    read_spans, render_tree, span, span_log_path, start_span,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS", "Counter", "ENV_VAR", "FAULT_METRICS_PRE_MERGE",
+    "FAULT_SPAN_PRE_WRITE", "Gauge", "Histogram", "MetricsRegistry",
+    "SPAN_LOG_NAME", "SpanWriter", "child_context", "completed_span",
+    "configure", "counter", "disable", "enable", "enabled", "finish_span",
+    "gauge", "histogram", "incr", "merge_snapshot", "new_context",
+    "new_span_id", "new_trace_id", "observe", "quantile", "read_spans",
+    "registry", "render_prometheus", "render_tree", "reset", "set_gauge",
+    "snapshot", "span", "span_log_path", "start_span", "subtract_snapshot",
+]

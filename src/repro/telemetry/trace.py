@@ -1,0 +1,267 @@
+"""Lightweight spans with explicit context propagation.
+
+A **trace context** is the piece that travels: a plain dict
+``{"trace_id": ..., "parent": <span-id or None>}`` riding the submit body,
+the journal entry, and the worker payload — so a daemon restart, a fleet
+steal, or a retried attempt all keep appending spans under the *same*
+``trace_id`` (unlike per-submission fault plans, the context IS journalled).
+A hop that already finished its span before the context moves on (the
+router) attaches the completed span under ``context["spans"]``; the next
+owner flushes those into the run's span log once the run directory is known.
+
+A **span** is one timed operation: ``trace_id``/``span_id``/``parent``
+identity, a wall-clock start (``ts``, for cross-process alignment), a
+monotonic duration (``dur``, measured with ``perf_counter``), a name, the
+``scenario``/``run_id`` it belongs to, and a small ``attrs`` dict.
+
+Persistence is one NDJSON line per *completed* span appended to
+``<run_dir>/spans.ndjson`` (:data:`SPAN_LOG_NAME`) with a single
+``O_APPEND`` write, so concurrent writers (daemon scheduler thread, pool
+workers, a stealing daemon on another host sharing the mount) interleave at
+line granularity and a SIGKILL mid-write leaves at most one truncated tail
+line — which :func:`read_spans` tolerates, the same crash discipline as the
+store's series log.  The file name is outside the store's ``state-``/
+``series-`` sweep prefixes, so compaction never collects a span log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro import faults
+from repro.telemetry import metrics
+
+__all__ = [
+    "SPAN_LOG_NAME", "SpanWriter", "child_context", "finish_span",
+    "new_context", "new_span_id", "new_trace_id", "read_spans",
+    "render_tree", "span", "span_log_path", "start_span",
+]
+
+#: Span log file name inside a run directory (beside MANIFEST.json).
+SPAN_LOG_NAME = "spans.ndjson"
+
+FAULT_SPAN_PRE_WRITE = faults.register(
+    "telemetry.span.pre_write",
+    "before appending one completed span line to a run's span log "
+    "(a crash leaves a readable line-prefix)",
+)
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_context() -> Dict[str, Any]:
+    """A fresh root context (no parent span yet)."""
+    return {"trace_id": new_trace_id(), "parent": None}
+
+
+def child_context(context: Dict[str, Any],
+                  span_record: Dict[str, Any]) -> Dict[str, Any]:
+    """The context a callee should run under: same trace, parented to
+    ``span_record``."""
+    return {"trace_id": context["trace_id"],
+            "parent": span_record["span_id"]}
+
+
+def start_span(name: str, context: Dict[str, Any], *,
+               scenario: Optional[str] = None,
+               run_id: Optional[str] = None,
+               attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Open a span under ``context``; finish with :func:`finish_span`."""
+    record: Dict[str, Any] = {
+        "trace_id": str(context.get("trace_id") or new_trace_id()),
+        "span_id": new_span_id(),
+        "parent": context.get("parent"),
+        "name": str(name),
+        "ts": time.time(),
+        "dur": None,
+        "scenario": scenario,
+        "run_id": run_id,
+        "attrs": dict(attrs) if attrs else {},
+        "_t0": time.perf_counter(),
+    }
+    return record
+
+
+def finish_span(record: Dict[str, Any],
+                attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Close a span: stamp its monotonic duration, fold in final attrs."""
+    started = record.pop("_t0", None)
+    if record.get("dur") is None:
+        record["dur"] = (time.perf_counter() - started) \
+            if started is not None else 0.0
+    if attrs:
+        record["attrs"].update(attrs)
+    return record
+
+
+def completed_span(name: str, context: Dict[str, Any], *, ts: float,
+                   dur: float, scenario: Optional[str] = None,
+                   run_id: Optional[str] = None,
+                   attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build an already-finished span from externally measured timestamps
+    (e.g. queue wait derived from ``submitted_at``/``started_at``)."""
+    record = start_span(name, context, scenario=scenario, run_id=run_id,
+                        attrs=attrs)
+    record.pop("_t0", None)
+    record["ts"] = float(ts)
+    record["dur"] = float(dur)
+    return record
+
+
+@contextmanager
+def span(name: str, context: Dict[str, Any], *,
+         writer: Optional["SpanWriter"] = None,
+         scenario: Optional[str] = None, run_id: Optional[str] = None,
+         attrs: Optional[Dict[str, Any]] = None,
+         ) -> Iterator[Dict[str, Any]]:
+    """Context manager: open a span, finish it on exit (marking ``ok``
+    False on exception), append it to ``writer`` when one is given."""
+    record = start_span(name, context, scenario=scenario, run_id=run_id,
+                        attrs=attrs)
+    try:
+        yield record
+    except BaseException:
+        finish_span(record, {"ok": False})
+        if writer is not None:
+            writer.write(record)
+        raise
+    else:
+        finish_span(record)
+        if writer is not None:
+            writer.write(record)
+
+
+def span_log_path(store_root, scenario: str, run_id: str) -> Path:
+    """Where a run's span log lives (beside its checkpoint manifest)."""
+    return Path(store_root) / str(scenario) / str(run_id) / SPAN_LOG_NAME
+
+
+class SpanWriter:
+    """Append-only NDJSON span sink for one run.
+
+    Each :meth:`write` opens the file in append mode and issues one write
+    of one line, so concurrent writers in different processes interleave
+    whole lines (POSIX ``O_APPEND``) and a crash mid-write can only leave a
+    truncated final line.  Failures are swallowed: telemetry must never
+    fail the run it observes.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._dir_ready = False
+
+    def write(self, record: Dict[str, Any]) -> bool:
+        faults.point(FAULT_SPAN_PRE_WRITE)
+        payload = {key: value for key, value in record.items()
+                   if not key.startswith("_")}
+        try:
+            if not self._dir_ready:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._dir_ready = True
+            line = json.dumps(payload, sort_keys=True) + "\n"
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:
+            return False
+        metrics.counter(
+            "repro_spans_written_total", "spans appended to span logs"
+        ).inc()
+        return True
+
+
+def read_spans(path) -> List[Dict[str, Any]]:
+    """Read a span log, tolerating a truncated/corrupt tail line.
+
+    Returns ``[]`` for a missing file.  Every decodable line is kept; an
+    undecodable one (the torn tail a SIGKILL mid-append leaves) is skipped
+    — the crash-tolerance contract of the log.
+    """
+    path = Path(path)
+    spans: List[Dict[str, Any]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return spans
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            spans.append(record)
+    return spans
+
+
+def _fmt_dur(dur: Optional[float]) -> str:
+    if dur is None:
+        return "?"
+    if dur < 1e-3:
+        return f"{dur * 1e6:.0f}us"
+    if dur < 1.0:
+        return f"{dur * 1e3:.1f}ms"
+    return f"{dur:.3f}s"
+
+
+def render_tree(spans: List[Dict[str, Any]]) -> str:
+    """Render spans as an indented tree (for ``repro trace <run-id>``).
+
+    Spans are grouped by ``trace_id`` (normally one), parented by
+    ``parent`` span id, siblings ordered by wall-clock start.  Spans whose
+    parent never landed (a crashed hop) surface as roots rather than
+    disappearing.
+    """
+    if not spans:
+        return "(no spans)"
+    lines: List[str] = []
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for record in spans:
+        by_trace.setdefault(str(record.get("trace_id")), []).append(record)
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        ids = {record.get("span_id") for record in members}
+        children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+        for record in members:
+            parent = record.get("parent")
+            key = parent if parent in ids else None
+            children.setdefault(key, []).append(record)
+        for siblings in children.values():
+            siblings.sort(key=lambda r: (r.get("ts") or 0.0,
+                                         str(r.get("span_id"))))
+        lines.append(f"trace {trace_id}")
+
+        def _walk(parent_key: Optional[str], depth: int) -> None:
+            for record in children.get(parent_key, []):
+                attrs = record.get("attrs") or {}
+                extra = " ".join(
+                    f"{key}={attrs[key]}" for key in sorted(attrs)
+                )
+                where = ""
+                if record.get("run_id"):
+                    where = f" [{record.get('scenario')}/{record['run_id']}]"
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"{record.get('name')} "
+                    + _fmt_dur(record.get("dur"))
+                    + where + (f" {extra}" if extra else "")
+                )
+                span_id = record.get("span_id")
+                if span_id in children:
+                    _walk(span_id, depth + 1)
+
+        _walk(None, 0)
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ import repro.analytics  # noqa: F401 - registers the analytics fault points
 import repro.fleet.membership  # noqa: F401 - registers the fleet fault points
 import repro.fleet.router  # noqa: F401 - registers the router fault point
 import repro.store.migrate  # noqa: F401 - registers the migrate fault points
+import repro.telemetry  # noqa: F401 - registers the telemetry fault points
 
 from test_api import smoke_spec
 from test_checkpoint import assert_results_bit_identical
@@ -82,6 +83,9 @@ DRIVERS = {
     "fleet.member.pre_join": "TestFleetFaults",
     "fleet.steal.pre_claim": "TestFleetFaults",
     "fleet.router.pre_proxy": "TestFleetFaults",
+    # Telemetry drivers live in test_telemetry.py.
+    "telemetry.span.pre_write": "TestTelemetryFaults",
+    "telemetry.metrics.pre_merge": "TestTelemetryFaults",
 }
 
 
